@@ -1,0 +1,491 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   section (plus the in-text ablations). Default scale finishes in minutes;
+   pass --paper for the paper's full problem sizes.
+
+   Figures (SPAA'99, Krick et al.):
+     fig3  matmul ratios vs block size            (16x16 mesh)
+     fig4  matmul ratios vs network size          (block 4096)
+     fig6  bitonic ratios vs keys per processor   (16x16 mesh)
+     fig7  bitonic ratios vs network size         (4096 keys)
+     fig8  Barnes-Hut congestion/time vs N        (16x16 mesh, 5 strategies)
+     fig9  ... tree-building phase only
+     fig10 ... force-computation phase only
+     fig11 Barnes-Hut scaling, N = c * P
+   Ablations: matmul_arity, bitonic_arity, embedding, combining, replacement. *)
+
+module Dsm = Diva_core.Dsm
+module Runner = Diva_harness.Runner
+module Report = Diva_harness.Report
+module Barnes_hut = Diva_apps.Barnes_hut
+module Embedding = Diva_mesh.Embedding
+module Table = Diva_util.Table
+
+let paper_scale = ref false
+let only : string list ref = ref []
+let run_micro = ref false
+
+let selected name = !only = [] || List.mem name !only
+
+let banner name = Printf.printf "\n==== %s ====\n%!" name
+
+(* ------------------------------------------------------------------ *)
+(* Matrix multiplication (Figures 3 and 4)                              *)
+(* ------------------------------------------------------------------ *)
+
+let matmul_row ~q ~block strategies =
+  let hand = Runner.run_matmul ~rows:q ~cols:q ~block Runner.Hand_optimized in
+  let strats =
+    List.map
+      (fun (n, s) -> (n, Runner.run_matmul ~rows:q ~cols:q ~block (Runner.Strategy s)))
+      strategies
+  in
+  (hand, strats)
+
+let fig3 () =
+  banner "Figure 3: matmul, 16x16 mesh, ratios vs hand-optimized";
+  let strategies =
+    [ ("fixed-home", Dsm.Fixed_home); ("4-ary", Dsm.access_tree ~arity:4 ()) ]
+  in
+  let rows =
+    List.map
+      (fun block ->
+        let hand, strats = matmul_row ~q:16 ~block strategies in
+        (string_of_int block, hand, strats))
+      [ 64; 256; 1024; 4096 ]
+  in
+  print_string
+    (Report.ratio_table
+       ~title:
+         "congestion ratio and communication time ratio vs block size\n\
+          (paper: FH cong 33.3->24.5, 4-ary cong 9.3->6.1; FH time 13.8->10.3,\n\
+          \ 4-ary time 7.5->4.5; AT/FH time 55%->44%)"
+       ~param:"block" ~congestion:`Bytes ~rows)
+
+let fig4 () =
+  banner "Figure 4: matmul, block 4096, ratios vs network size";
+  let strategies =
+    [ ("fixed-home", Dsm.Fixed_home); ("4-ary", Dsm.access_tree ~arity:4 ()) ]
+  in
+  let rows =
+    List.map
+      (fun q ->
+        let hand, strats = matmul_row ~q ~block:4096 strategies in
+        (Printf.sprintf "%dx%d" q q, hand, strats))
+      [ 4; 8; 16; 32 ]
+  in
+  print_string
+    (Report.ratio_table
+       ~title:
+         "congestion ratio and communication time ratio vs network size\n\
+          (paper: FH cong 3.9->48.0, 4-ary cong 2.8->8.1; AT/FH time 99%->28%)"
+       ~param:"mesh" ~congestion:`Bytes ~rows)
+
+(* ------------------------------------------------------------------ *)
+(* Bitonic sorting (Figures 6 and 7)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bitonic_row ~rows:r ~cols:c ~keys strategies =
+  let hand = Runner.run_bitonic ~rows:r ~cols:c ~keys Runner.Hand_optimized in
+  let strats =
+    List.map
+      (fun (n, s) -> (n, Runner.run_bitonic ~rows:r ~cols:c ~keys (Runner.Strategy s)))
+      strategies
+  in
+  (hand, strats)
+
+let fig6 () =
+  banner "Figure 6: bitonic sorting, 16x16 mesh, ratios vs hand-optimized";
+  let strategies =
+    [ ("fixed-home", Dsm.Fixed_home);
+      ("2-4-ary", Dsm.access_tree ~arity:2 ~leaf_size:4 ()) ]
+  in
+  let rows =
+    List.map
+      (fun keys ->
+        let hand, strats = bitonic_row ~rows:16 ~cols:16 ~keys strategies in
+        (string_of_int keys, hand, strats))
+      [ 256; 1024; 4096; 16384 ]
+  in
+  print_string
+    (Report.ratio_table
+       ~title:
+         "congestion ratio and execution time ratio vs keys per processor\n\
+          (paper: FH cong 8.1->7.1, 2-4-ary cong 3.0->2.8; AT/FH time 60%->48%)"
+       ~param:"keys" ~congestion:`Bytes ~rows)
+
+let fig7 () =
+  banner "Figure 7: bitonic sorting, 4096 keys/proc, ratios vs network size";
+  let strategies =
+    [ ("fixed-home", Dsm.Fixed_home);
+      ("2-4-ary", Dsm.access_tree ~arity:2 ~leaf_size:4 ()) ]
+  in
+  let rows =
+    List.map
+      (fun q ->
+        let hand, strats = bitonic_row ~rows:q ~cols:q ~keys:4096 strategies in
+        (Printf.sprintf "%dx%d" q q, hand, strats))
+      [ 4; 8; 16; 32 ]
+  in
+  print_string
+    (Report.ratio_table
+       ~title:
+         "congestion ratio and execution time ratio vs network size\n\
+          (paper: FH cong 2.8->10.5, 2-4-ary cong 2.1->2.9; AT/FH time 83%->40%)"
+       ~param:"mesh" ~congestion:`Bytes ~rows)
+
+(* ------------------------------------------------------------------ *)
+(* Barnes-Hut (Figures 8-11)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bh_strategies =
+  [
+    ("fixed-home", Dsm.Fixed_home);
+    ("16-ary", Dsm.access_tree ~arity:16 ());
+    ("4-16-ary", Dsm.access_tree ~arity:4 ~leaf_size:16 ());
+    ("4-ary", Dsm.access_tree ~arity:4 ());
+    ("2-ary", Dsm.access_tree ~arity:2 ());
+  ]
+
+let bh_nsweep () =
+  if !paper_scale then [ 10000; 20000; 30000; 40000; 50000; 60000 ]
+  else [ 1000; 2000; 4000; 8000 ]
+
+let bh_cache : (int * string, Runner.bh_result) Hashtbl.t = Hashtbl.create 64
+
+let bh_run ~n (sname, strategy) =
+  match Hashtbl.find_opt bh_cache (n, sname) with
+  | Some r -> r
+  | None ->
+      let cfg = Barnes_hut.default_config ~nbodies:n in
+      let r = Runner.run_barnes_hut ~rows:16 ~cols:16 ~cfg strategy in
+      Hashtbl.add bh_cache (n, sname) r;
+      r
+
+let bh_figure ~title ~get () =
+  banner title;
+  let rows =
+    List.map
+      (fun n ->
+        ( string_of_int n,
+          List.map (fun (sn, s) -> (sn, get (bh_run ~n (sn, s)))) bh_strategies ))
+      (bh_nsweep ())
+  in
+  print_string (Report.absolute_table ~title:"" ~param:"bodies" ~rows ())
+
+let fig8 () =
+  bh_figure
+    ~title:
+      "Figure 8: Barnes-Hut, 16x16 mesh, congestion and total time vs N\n\
+       (paper shape: higher tree degree => higher congestion; 4-ary fastest;\n\
+       fixed home worst congestion and time)"
+    ~get:(fun r -> r.Runner.bh_total)
+    ()
+
+let fig9 () =
+  bh_figure
+    ~title:
+      "Figure 9: Barnes-Hut tree-building phase\n\
+       (paper shape: fixed home has a large congestion offset from the\n\
+       root-cell bottleneck; access trees multicast the root cheaply)"
+    ~get:(fun r -> r.Runner.bh_phase Barnes_hut.Build)
+    ()
+
+let fig10 () =
+  banner
+    "Figure 10: Barnes-Hut force-computation phase (plus local computation)";
+  let rows =
+    List.map
+      (fun n ->
+        ( string_of_int n,
+          List.map
+            (fun (sn, s) -> (sn, (bh_run ~n (sn, s)).Runner.bh_phase Barnes_hut.Force))
+            bh_strategies ))
+      (bh_nsweep ())
+  in
+  print_string
+    (Report.absolute_table ~title:"" ~param:"bodies"
+       ~extra:[ ("comp(s)", fun m -> Table.fstr (m.Runner.max_compute /. 1e6)) ]
+       ~rows ())
+
+let fig11 () =
+  banner "Figure 11: Barnes-Hut scaling, N proportional to P";
+  let c = if !paper_scale then 200 else 25 in
+  let meshes = [ (8, 8); (8, 16); (16, 16); (16, 32) ] in
+  let strategies =
+    [ ("fixed-home", Dsm.Fixed_home);
+      ("4-8-ary", Dsm.access_tree ~arity:4 ~leaf_size:8 ()) ]
+  in
+  let rows =
+    List.map
+      (fun (r, cl) ->
+        let n = c * r * cl in
+        let cfg = Barnes_hut.default_config ~nbodies:n in
+        ( Printf.sprintf "%dx%d (N=%d)" r cl n,
+          List.map
+            (fun (sn, s) ->
+              let res = Runner.run_barnes_hut ~rows:r ~cols:cl ~cfg s in
+              (sn, res.Runner.bh_total))
+            strategies ))
+      meshes
+  in
+  print_string
+    (Report.absolute_table
+       ~title:"(paper: AT/FH time 97%->49%; congestion grows with the longest side)"
+       ~param:"mesh"
+       ~extra:[ ("comp(s)", fun m -> Table.fstr (m.Runner.max_compute /. 1e6)) ]
+       ~rows ());
+  List.iter
+    (fun (label, strats) ->
+      match strats with
+      | [ (_, fh); (_, at) ] ->
+          Printf.printf "  %s: AT time / FH time = %.0f%%\n" label
+            (Diva_util.Stats.percent at.Runner.time fh.Runner.time)
+      | _ -> ())
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* In-text ablations                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let matmul_arity () =
+  banner "Ablation (paper 3.1): matmul congestion/time vs access-tree degree";
+  let strategies =
+    [
+      ("2-ary", Dsm.access_tree ~arity:2 ());
+      ("2-4-ary", Dsm.access_tree ~arity:2 ~leaf_size:4 ());
+      ("4-ary", Dsm.access_tree ~arity:4 ());
+      ("4-16-ary", Dsm.access_tree ~arity:4 ~leaf_size:16 ());
+      ("16-ary", Dsm.access_tree ~arity:16 ());
+    ]
+  in
+  let hand, strats = matmul_row ~q:16 ~block:1024 strategies in
+  print_string
+    (Report.ratio_table
+       ~title:
+         "(paper: the smaller the degree the smaller the congestion, but the\n\
+          \ 4-ary tree achieves the best times: startups vs congestion)"
+       ~param:"block" ~congestion:`Bytes
+       ~rows:[ ("1024", hand, strats) ])
+
+let bitonic_arity () =
+  banner "Ablation (paper 3.2): bitonic time vs access-tree degree";
+  let strategies =
+    [
+      ("4-ary", Dsm.access_tree ~arity:4 ());
+      ("2-ary", Dsm.access_tree ~arity:2 ());
+      ("2-4-ary", Dsm.access_tree ~arity:2 ~leaf_size:4 ());
+    ]
+  in
+  let hand, strats = bitonic_row ~rows:16 ~cols:16 ~keys:4096 strategies in
+  print_string
+    (Report.ratio_table
+       ~title:
+         "(paper: 2-ary and 2-4-ary beat 4-ary by ~5% and ~8% here, because\n\
+          \ the 2-ary decomposition matches the circuit's locality)"
+       ~param:"keys" ~congestion:`Bytes
+       ~rows:[ ("4096", hand, strats) ])
+
+let embedding_ablation () =
+  banner "Ablation: regular (paper) vs fully random embedding (theory)";
+  let strategies =
+    [
+      ("4-ary regular", Dsm.access_tree ~arity:4 ~embedding:Embedding.Regular ());
+      ("4-ary random", Dsm.access_tree ~arity:4 ~embedding:Embedding.Random ());
+    ]
+  in
+  let hand, strats = matmul_row ~q:16 ~block:1024 strategies in
+  print_string
+    (Report.ratio_table
+       ~title:"matmul 16x16, block 1024 (regular embedding shortens tree edges)"
+       ~param:"block" ~congestion:`Bytes
+       ~rows:[ ("1024", hand, strats) ])
+
+let combining_ablation () =
+  banner "Ablation: read combining on/off (Barnes-Hut tree-building phase)";
+  let n = if !paper_scale then 10000 else 2000 in
+  let cfg = Barnes_hut.default_config ~nbodies:n in
+  let run comb =
+    (Runner.run_barnes_hut ~rows:16 ~cols:16 ~cfg
+       (Dsm.access_tree ~arity:4 ~combining:comb ()))
+      .Runner.bh_phase Barnes_hut.Build
+  in
+  let on = run true and off = run false in
+  let tbl = Table.create ~header:[ "combining"; "cong(msg)"; "time(s)" ] in
+  Table.add_row tbl
+    [ "on"; string_of_int on.Runner.congestion_msgs;
+      Table.fstr (on.Runner.time /. 1e6) ];
+  Table.add_row tbl
+    [ "off"; string_of_int off.Runner.congestion_msgs;
+      Table.fstr (off.Runner.time /. 1e6) ];
+  print_string (Table.render tbl)
+
+let remapping_ablation () =
+  banner "Ablation: FOCS'97 tree-node remapping (the paper omits it)";
+  let n = if !paper_scale then 10000 else 2000 in
+  let cfg = Barnes_hut.default_config ~nbodies:n in
+  let run threshold =
+    let s =
+      match threshold with
+      | None -> Dsm.access_tree ~arity:4 ()
+      | Some th -> Dsm.access_tree ~arity:4 ~remap_threshold:th ()
+    in
+    (Runner.run_barnes_hut ~rows:16 ~cols:16 ~cfg s).Runner.bh_total
+  in
+  let tbl =
+    Table.create ~header:[ "remapping"; "cong(msg)"; "time(s)" ]
+  in
+  List.iter
+    (fun (label, threshold) ->
+      let m = run threshold in
+      Table.add_row tbl
+        [ label; string_of_int m.Runner.congestion_msgs;
+          Table.fstr (m.Runner.time /. 1e6) ])
+    [ ("off (paper)", None); ("threshold 64", Some 64);
+      ("threshold 16", Some 16) ];
+  print_string (Table.render tbl)
+
+let replacement_ablation () =
+  banner "Ablation (paper 3.3): bounded memory triggers LRU replacement (2-ary)";
+  (* The paper's point is the onset of replacement (the 2-ary curve's bump
+     at 60000 bodies): mild pressure, not full thrashing. *)
+  let n = if !paper_scale then 20000 else 1500 in
+  let cfg = Barnes_hut.default_config ~nbodies:n in
+  let run capacity =
+    let s =
+      match capacity with
+      | None -> Dsm.access_tree ~arity:2 ()
+      | Some c -> Dsm.access_tree ~arity:2 ~capacity:c ()
+    in
+    (Runner.run_barnes_hut ~rows:8 ~cols:8 ~cfg s).Runner.bh_total
+  in
+  let tbl =
+    Table.create ~header:[ "memory"; "cong(msg)"; "time(s)"; "evictions" ]
+  in
+  let row label (m : Runner.measurements) =
+    Table.add_row tbl
+      [ label; string_of_int m.Runner.congestion_msgs;
+        Table.fstr (m.Runner.time /. 1e6); string_of_int m.Runner.evictions ]
+  in
+  row "unbounded" (run None);
+  row "160 KiB/proc" (run (Some (160 * 1024)));
+  row "128 KiB/proc" (run (Some (128 * 1024)));
+  print_string (Table.render tbl)
+
+let dimensions_ablation () =
+  banner "Extension: 2-D vs 3-D mesh (the theory's d-dimensional setting)";
+  let n = if !paper_scale then 12800 else 1600 in
+  let cfg = Barnes_hut.default_config ~nbodies:n in
+  let strategies =
+    [ ("fixed-home", Dsm.Fixed_home); ("2-ary", Dsm.access_tree ~arity:2 ()) ]
+  in
+  let tbl =
+    Table.create ~header:[ "mesh (64 procs)"; "strategy"; "cong(msg)"; "time(s)" ]
+  in
+  List.iter
+    (fun (label, dims) ->
+      List.iter
+        (fun (sn, s) ->
+          let r = (Runner.run_barnes_hut_nd ~dims ~cfg s).Runner.bh_total in
+          Table.add_row tbl
+            [ label; sn; string_of_int r.Runner.congestion_msgs;
+              Table.fstr (r.Runner.time /. 1e6) ])
+        strategies)
+    [ ("8x8 (2-D)", [| 8; 8 |]); ("4x4x4 (3-D)", [| 4; 4; 4 |]) ];
+  print_string (Table.render tbl)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let mesh = Diva_mesh.Mesh.create ~rows:16 ~cols:16 in
+  let deco =
+    Diva_mesh.Decomposition.build mesh ~arity:Diva_mesh.Decomposition.Four
+      ~leaf_size:1
+  in
+  let route =
+    Test.make ~name:"mesh route (16x16)"
+      (Staged.stage (fun () -> ignore (Diva_mesh.Mesh.route mesh ~src:0 ~dst:255)))
+  in
+  let build =
+    Test.make ~name:"decomposition build (16x16, 4-ary)"
+      (Staged.stage (fun () ->
+           ignore
+             (Diva_mesh.Decomposition.build mesh
+                ~arity:Diva_mesh.Decomposition.Four ~leaf_size:1)))
+  in
+  let placement =
+    Test.make ~name:"lazy regular placement"
+      (Staged.stage (fun () ->
+           ignore
+             (Diva_mesh.Embedding.place_lazy Diva_mesh.Embedding.Regular deco
+                ~seed:99L 37)))
+  in
+  let heap =
+    Test.make ~name:"event queue insert+pop x100"
+      (Staged.stage (fun () ->
+           let h = Diva_util.Pairing_heap.create () in
+           for i = 0 to 99 do
+             Diva_util.Pairing_heap.insert h (float_of_int (i * 7 mod 13)) i
+           done;
+           while not (Diva_util.Pairing_heap.is_empty h) do
+             ignore (Diva_util.Pairing_heap.pop_min h)
+           done))
+  in
+  let small_sim =
+    Test.make ~name:"matmul 4x4 end-to-end sim"
+      (Staged.stage (fun () ->
+           ignore
+             (Runner.run_matmul ~rows:4 ~cols:4 ~block:64
+                (Runner.Strategy (Dsm.access_tree ~arity:4 ())))))
+  in
+  let tests = [ route; build; placement; heap; small_sim ] in
+  let benchmark test =
+    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test
+  in
+  let analyze results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock results
+  in
+  banner "Bechamel micro-benchmarks (ns/run)";
+  List.iter
+    (fun t ->
+      let results = benchmark t in
+      let a = analyze results in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-40s %12.1f ns\n" name est
+          | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+        a)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let specs =
+    [
+      ("--paper", Arg.Set paper_scale, "run at the paper's full problem sizes");
+      ("--micro", Arg.Set run_micro, "also run the Bechamel micro-benchmarks");
+      ( "--only",
+        Arg.String (fun s -> only := String.split_on_char ',' s),
+        "comma-separated experiment names (fig3..fig11, matmul_arity, ...)" );
+    ]
+  in
+  Arg.parse specs (fun _ -> ()) "diva benchmark harness";
+  let experiments =
+    [
+      ("fig3", fig3); ("fig4", fig4); ("fig6", fig6); ("fig7", fig7);
+      ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
+      ("matmul_arity", matmul_arity); ("bitonic_arity", bitonic_arity);
+      ("embedding", embedding_ablation); ("combining", combining_ablation);
+      ("remapping", remapping_ablation);
+      ("replacement", replacement_ablation);
+      ("dimensions", dimensions_ablation);
+    ]
+  in
+  List.iter (fun (name, f) -> if selected name then f ()) experiments;
+  if !run_micro then micro ()

@@ -1,0 +1,196 @@
+(* divasim: run one application under one data-management strategy on one
+   simulated mesh, and print the paper's metrics.
+
+     divasim matmul  --mesh 16x16 --block 1024 --strategy 4-ary
+     divasim bitonic --mesh 8x8   --keys 4096  --strategy fixed-home
+     divasim nbody   --mesh 16x16 --bodies 4000 --strategy 2-4-ary --phases
+*)
+
+module Dsm = Diva_core.Dsm
+module Runner = Diva_harness.Runner
+module Barnes_hut = Diva_apps.Barnes_hut
+module Embedding = Diva_mesh.Embedding
+open Cmdliner
+
+let parse_mesh s =
+  let parts = String.split_on_char 'x' (String.lowercase_ascii s) in
+  let dims = List.filter_map int_of_string_opt parts in
+  if List.length dims = List.length parts && dims <> []
+     && List.for_all (fun d -> d > 0) dims
+  then Ok (Array.of_list dims)
+  else Error (`Msg "mesh must look like 16x16 (or 4x4x4)")
+
+let mesh_conv =
+  Arg.conv
+    ( parse_mesh,
+      fun fmt dims ->
+        Format.fprintf fmt "%s"
+          (String.concat "x" (List.map string_of_int (Array.to_list dims))) )
+
+(* "4-ary", "2-4-ary", "16-ary", "fixed-home", "hand-optimized"; a "+random"
+   suffix selects the fully random embedding. *)
+let parse_strategy s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let embedding, s =
+    match Filename.chop_suffix_opt ~suffix:"+random" s with
+    | Some base -> (Embedding.Random, base)
+    | None -> (Embedding.Regular, s)
+  in
+  match s with
+  | "fixed-home" | "fixedhome" | "home" -> Ok (Runner.Strategy Dsm.Fixed_home)
+  | "hand" | "handopt" | "hand-optimized" -> Ok Runner.Hand_optimized
+  | _ -> (
+      match String.split_on_char '-' s with
+      | [ l; "ary" ] -> (
+          match int_of_string_opt l with
+          | Some l when l = 2 || l = 4 || l = 16 ->
+              Ok (Runner.Strategy (Dsm.access_tree ~arity:l ~embedding ()))
+          | _ -> Error (`Msg "arity must be 2, 4 or 16"))
+      | [ l; k; "ary" ] -> (
+          match (int_of_string_opt l, int_of_string_opt k) with
+          | Some l, Some k when (l = 2 || l = 4 || l = 16) && k >= 1 ->
+              Ok
+                (Runner.Strategy
+                   (Dsm.access_tree ~arity:l ~leaf_size:k ~embedding ()))
+          | _ -> Error (`Msg "bad l-k-ary strategy"))
+      | _ ->
+          Error
+            (`Msg
+               "strategy is one of: 2-ary, 4-ary, 16-ary, 2-4-ary, 4-16-ary, \
+                fixed-home, hand-optimized (append +random for the random \
+                embedding)"))
+
+let strategy_conv =
+  Arg.conv
+    ( parse_strategy,
+      fun fmt c -> Format.fprintf fmt "%s" (Runner.name c) )
+
+let mesh_t =
+  Arg.(
+    value
+    & opt mesh_conv [| 8; 8 |]
+    & info [ "mesh" ] ~docv:"RxC" ~doc:"Mesh size (any dimension, e.g. 4x4x4).")
+
+let strategy_t =
+  Arg.(
+    value
+    & opt strategy_conv (Runner.Strategy (Dsm.access_tree ~arity:4 ()))
+    & info [ "strategy" ] ~docv:"S" ~doc:"Data management strategy.")
+
+let seed_t =
+  Arg.(value & opt int 17 & info [ "seed" ] ~doc:"Random seed of the run.")
+
+let heatmap_t =
+  Arg.(
+    value & flag
+    & info [ "heatmap" ] ~doc:"Print the per-node traffic distribution.")
+
+let on_net_of heatmap =
+  if heatmap then
+    Some (fun net -> print_string (Diva_harness.Heatmap.render net))
+  else None
+
+let print_measurements (m : Runner.measurements) =
+  Printf.printf "time                 %.3f s\n" (m.Runner.time /. 1e6);
+  Printf.printf "congestion           %d messages / %d bytes\n"
+    m.Runner.congestion_msgs m.Runner.congestion_bytes;
+  Printf.printf "total load           %d messages / %d bytes\n"
+    m.Runner.total_msgs m.Runner.total_bytes;
+  Printf.printf "startups             %d\n" m.Runner.startups;
+  Printf.printf "max local compute    %.3f s\n" (m.Runner.max_compute /. 1e6);
+  if m.Runner.dsm_reads > 0 then
+    Printf.printf "reads / cache hits   %d / %d (%.1f%%)\n" m.Runner.dsm_reads
+      m.Runner.dsm_read_hits
+      (100.0 *. float_of_int m.Runner.dsm_read_hits
+      /. float_of_int (max 1 m.Runner.dsm_reads));
+  if m.Runner.evictions > 0 then
+    Printf.printf "LRU evictions        %d\n" m.Runner.evictions
+
+let matmul_cmd =
+  let block =
+    Arg.(value & opt int 1024 & info [ "block" ] ~doc:"Integers per block.")
+  in
+  let compute =
+    Arg.(value & flag & info [ "compute" ] ~doc:"Include block arithmetic.")
+  in
+  let run dims strategy block compute seed heatmap =
+    match dims with
+    | [| rows; cols |] when rows = cols ->
+        let m =
+          Runner.run_matmul ~seed ?on_net:(on_net_of heatmap) ~rows ~cols
+            ~block ~compute strategy
+        in
+        Printf.printf "matmul %dx%d, block %d, strategy %s\n" rows cols block
+          (Runner.name strategy);
+        print_measurements m
+    | _ -> failwith "matmul needs a square 2-D mesh"
+  in
+  Cmd.v (Cmd.info "matmul" ~doc:"Matrix squaring (paper 3.1)")
+    Term.(const run $ mesh_t $ strategy_t $ block $ compute $ seed_t $ heatmap_t)
+
+let bitonic_cmd =
+  let keys =
+    Arg.(value & opt int 4096 & info [ "keys" ] ~doc:"Keys per processor.")
+  in
+  let run dims strategy keys seed heatmap =
+    let m =
+      Runner.run_bitonic_nd ~seed ?on_net:(on_net_of heatmap) ~dims ~keys
+        strategy
+    in
+    Printf.printf "bitonic %s, %d keys/proc, strategy %s\n"
+      (String.concat "x" (List.map string_of_int (Array.to_list dims)))
+      keys (Runner.name strategy);
+    print_measurements m
+  in
+  Cmd.v (Cmd.info "bitonic" ~doc:"Bitonic sorting (paper 3.2)")
+    Term.(const run $ mesh_t $ strategy_t $ keys $ seed_t $ heatmap_t)
+
+let nbody_cmd =
+  let bodies =
+    Arg.(value & opt int 2000 & info [ "bodies" ] ~doc:"Number of bodies.")
+  in
+  let steps = Arg.(value & opt int 7 & info [ "steps" ] ~doc:"Time steps.") in
+  let theta =
+    Arg.(value & opt float 1.0 & info [ "theta" ] ~doc:"Opening criterion.")
+  in
+  let phases =
+    Arg.(value & flag & info [ "phases" ] ~doc:"Print the per-phase breakdown.")
+  in
+  let run dims strategy bodies steps theta phases seed heatmap =
+    let strategy =
+      match strategy with
+      | Runner.Strategy s -> s
+      | Runner.Hand_optimized ->
+          failwith "no hand-optimized baseline exists for Barnes-Hut"
+    in
+    let cfg =
+      { (Barnes_hut.default_config ~nbodies:bodies) with
+        Barnes_hut.steps; theta }
+    in
+    let r =
+      Runner.run_barnes_hut_nd ~seed ?on_net:(on_net_of heatmap) ~dims ~cfg
+        strategy
+    in
+    Printf.printf "barnes-hut %s, %d bodies, theta %.2f, strategy %s\n"
+      (String.concat "x" (List.map string_of_int (Array.to_list dims)))
+      bodies theta
+      (Dsm.strategy_name strategy);
+    Printf.printf "-- measured steps, all phases --\n";
+    print_measurements r.Runner.bh_total;
+    if phases then
+      List.iter
+        (fun ph ->
+          Printf.printf "-- phase: %s --\n" (Barnes_hut.phase_name ph);
+          print_measurements (r.Runner.bh_phase ph))
+        [ Barnes_hut.Build; Barnes_hut.Com; Barnes_hut.Partition;
+          Barnes_hut.Force; Barnes_hut.Advance; Barnes_hut.Space ]
+  in
+  Cmd.v (Cmd.info "nbody" ~doc:"Barnes-Hut N-body simulation (paper 3.3)")
+    Term.(
+      const run $ mesh_t $ strategy_t $ bodies $ steps $ theta $ phases
+      $ seed_t $ heatmap_t)
+
+let () =
+  let doc = "DIVA: simulated data management in mesh networks (SPAA'99)" in
+  let info = Cmd.info "divasim" ~doc in
+  exit (Cmd.eval (Cmd.group info [ matmul_cmd; bitonic_cmd; nbody_cmd ]))

@@ -1,0 +1,1 @@
+examples/matmul_demo.ml: Diva_apps Diva_core Diva_harness Diva_simnet List Printf

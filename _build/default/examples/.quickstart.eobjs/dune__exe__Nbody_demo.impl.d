@@ -1,0 +1,1 @@
+examples/nbody_demo.ml: Diva_apps Diva_core Diva_harness List Printf

@@ -1,0 +1,1 @@
+examples/nbody_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Diva_core Diva_simnet Printf

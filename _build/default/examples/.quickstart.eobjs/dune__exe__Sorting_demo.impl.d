@@ -1,0 +1,1 @@
+examples/sorting_demo.ml: Diva_apps Diva_core Diva_harness Diva_simnet List Printf

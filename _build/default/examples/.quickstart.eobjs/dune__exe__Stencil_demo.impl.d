@@ -1,0 +1,1 @@
+examples/stencil_demo.ml: Diva_apps Diva_core Diva_simnet List Printf

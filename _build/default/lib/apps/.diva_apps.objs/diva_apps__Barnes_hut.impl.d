@@ -1,0 +1,1 @@
+lib/apps/barnes_hut.ml: Array Diva_core Diva_mesh Diva_simnet Diva_util Float List Nbody_geom Printf Vec

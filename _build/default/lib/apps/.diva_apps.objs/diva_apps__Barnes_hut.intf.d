@@ -1,0 +1,1 @@
+lib/apps/barnes_hut.mli: Diva_core Diva_simnet Vec

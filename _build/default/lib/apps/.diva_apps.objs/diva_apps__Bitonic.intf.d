@@ -1,0 +1,1 @@
+lib/apps/bitonic.mli: Diva_core

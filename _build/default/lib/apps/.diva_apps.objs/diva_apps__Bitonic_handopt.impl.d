@@ -1,0 +1,1 @@
+lib/apps/bitonic_handopt.ml: Array Bitonic Diva_mesh Diva_simnet Diva_util

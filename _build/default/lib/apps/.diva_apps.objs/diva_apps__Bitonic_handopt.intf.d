@@ -1,0 +1,1 @@
+lib/apps/bitonic_handopt.mli: Diva_core Diva_simnet

@@ -1,0 +1,1 @@
+lib/apps/matmul.ml: Array Diva_core Diva_mesh Diva_simnet Diva_util Printf

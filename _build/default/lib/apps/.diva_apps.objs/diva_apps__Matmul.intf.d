@@ -1,0 +1,1 @@
+lib/apps/matmul.mli: Diva_core

@@ -1,0 +1,1 @@
+lib/apps/matmul_handopt.ml: Array Diva_mesh Diva_simnet Diva_util Matmul

@@ -1,0 +1,1 @@
+lib/apps/nbody_geom.ml: Array Diva_util Float Vec

@@ -1,0 +1,1 @@
+lib/apps/nbody_geom.mli: Diva_util Vec

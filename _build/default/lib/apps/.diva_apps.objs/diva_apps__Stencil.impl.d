@@ -1,0 +1,1 @@
+lib/apps/stencil.ml: Array Diva_core Diva_mesh Diva_simnet List Printf

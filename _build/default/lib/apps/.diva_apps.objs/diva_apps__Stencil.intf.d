@@ -1,0 +1,1 @@
+lib/apps/stencil.mli: Diva_core

@@ -1,0 +1,43 @@
+(** Matrix squaring (A := A * A) on a square mesh, through the DIVA layer —
+    the paper's first application (§3.1).
+
+    The n×n integer matrix is partitioned into P equally sized blocks;
+    processor [p_ij] owns block [A_ij] (a global variable) and computes its
+    new value in sqrt(P) staggered read steps followed by a write phase,
+    the two phases separated by a barrier. Squaring (rather than C := A*B)
+    forces the data-management strategy to invalidate the copies created in
+    the read phase. *)
+
+type config = {
+  block : int;  (** integers per block (the paper's "block size") *)
+  compute : bool;
+      (** actually multiply the blocks (and charge the arithmetic);
+          benchmarks disable this to measure communication time, exactly as
+          the paper does *)
+}
+
+type t
+
+val setup : Diva_core.Dsm.t -> config -> t
+(** Create the P block variables, each initialised at its owner with a
+    deterministic pseudo-random block. Requires a square mesh and [block]
+    a perfect square. *)
+
+val fiber : t -> Diva_core.Types.proc -> unit
+(** The per-processor program (read phase, barrier, write phase, barrier). *)
+
+val verify : t -> bool
+(** After the run (with [compute = true]): does every block equal the
+    corresponding block of the sequentially squared input matrix? *)
+
+val blocks_read : t -> int
+(** Total block reads issued (sanity statistics). *)
+
+(** {2 Shared helpers (also used by the hand-optimized baseline)} *)
+
+val isqrt : int -> int
+(** Exact integer square root; raises [Invalid_argument] otherwise. *)
+
+val block_mult_add : b:int -> int array -> int array -> int array -> unit
+(** [block_mult_add ~b h x y] adds the product of two [b]x[b] row-major
+    blocks to [h]. *)

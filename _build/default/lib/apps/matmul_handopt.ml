@@ -1,0 +1,111 @@
+module Network = Diva_simnet.Network
+module Machine = Diva_simnet.Machine
+module Mesh = Diva_mesh.Mesh
+module Prng = Diva_util.Prng
+
+type config = { block : int; compute : bool }
+
+type dir = North | South | East | West
+
+(* A block travelling away from its origin in one direction; [hops_left]
+   counts how many further processors must still receive it. *)
+type Network.payload +=
+  | Block of { oi : int; oj : int; dir : dir; hops_left : int; data : int array }
+
+type t = {
+  net : Network.t;
+  cfg : config;
+  q : int;
+  b : int;
+  initial : int array array array;
+  result : int array array array;  (* written by the fibers *)
+}
+
+let setup net cfg =
+  let mesh = Network.mesh net in
+  if Mesh.num_dims mesh <> 2 || Mesh.rows mesh <> Mesh.cols mesh then
+    invalid_arg "Matmul_handopt.setup: requires a square 2-D mesh";
+  let q = Mesh.rows mesh in
+  let b = Matmul.isqrt cfg.block in
+  let rng = Prng.create ~seed:2027 in
+  let initial =
+    Array.init q (fun _ ->
+        Array.init q (fun _ -> Array.init cfg.block (fun _ -> Prng.int rng 100)))
+  in
+  { net; cfg; q; b; initial; result = Array.init q (fun _ -> Array.make q [||]) }
+
+let msg_size cfg = (cfg.block * 4) + 16
+
+let forward t p (oi, oj, dir, hops_left, data) =
+  if hops_left > 0 then begin
+    let mesh = Network.mesh t.net in
+    let r, c = Mesh.coords mesh p in
+    let nr, nc =
+      match dir with
+      | North -> (r - 1, c)
+      | South -> (r + 1, c)
+      | East -> (r, c + 1)
+      | West -> (r, c - 1)
+    in
+    Network.send t.net ~src:p ~dst:(Mesh.node_at mesh ~row:nr ~col:nc)
+      ~size:(msg_size t.cfg)
+      (Block { oi; oj; dir; hops_left = hops_left - 1; data })
+  end
+
+let fiber t p =
+  let net = t.net in
+  let machine = Network.machine net in
+  let mesh = Network.mesh net in
+  let i, j = Mesh.coords mesh p in
+  let q = t.q in
+  let row_blocks = Array.make q [||] and col_blocks = Array.make q [||] in
+  row_blocks.(j) <- t.initial.(i).(j);
+  col_blocks.(i) <- t.initial.(i).(j);
+  (* Launch my block in all four directions. *)
+  forward t p (i, j, North, i, t.initial.(i).(j));
+  forward t p (i, j, South, q - 1 - i, t.initial.(i).(j));
+  forward t p (i, j, West, j, t.initial.(i).(j));
+  forward t p (i, j, East, q - 1 - j, t.initial.(i).(j));
+  (* Receive the 2(q-1) blocks of my row and my column, keeping a copy and
+     forwarding each onwards. *)
+  let expected = 2 * (q - 1) in
+  for _ = 1 to expected do
+    let msg = Network.recv net p () in
+    match msg.Network.m_payload with
+    | Block { oi; oj; dir; hops_left; data } ->
+        if oi = i then row_blocks.(oj) <- data else col_blocks.(oi) <- data;
+        forward t p (oi, oj, dir, hops_left, data)
+    | _ -> failwith "Matmul_handopt: unexpected message"
+  done;
+  (* All operands are local now; compute the block product sum. *)
+  let h = Array.make t.cfg.block 0 in
+  if t.cfg.compute then begin
+    for k = 0 to q - 1 do
+      Matmul.block_mult_add ~b:t.b h row_blocks.(k) col_blocks.(k)
+    done;
+    let ops = 2 * t.b * t.b * t.b * q in
+    Network.compute net p (float_of_int ops *. machine.Machine.int_op_time)
+  end;
+  t.result.(i).(j) <- h
+
+let verify t =
+  if not t.cfg.compute then true
+  else begin
+    let q = t.q and b = t.b and m = t.cfg.block in
+    let expect = Array.init q (fun _ -> Array.init q (fun _ -> Array.make m 0)) in
+    for i = 0 to q - 1 do
+      for j = 0 to q - 1 do
+        for k = 0 to q - 1 do
+          Matmul.block_mult_add ~b expect.(i).(j) t.initial.(i).(k)
+            t.initial.(k).(j)
+        done
+      done
+    done;
+    let ok = ref true in
+    for i = 0 to q - 1 do
+      for j = 0 to q - 1 do
+        if t.result.(i).(j) <> expect.(i).(j) then ok := false
+      done
+    done;
+    !ok
+  end

@@ -1,0 +1,16 @@
+(** Hand-optimized message-passing matrix squaring — the paper's baseline
+    with provably minimal total communication load and congestion.
+
+    Every processor sends its block simultaneously along the four shortest
+    paths towards the ends of its row and its column; every processor it
+    passes keeps a copy and forwards it. Each processor therefore receives
+    each row/column block exactly once over a neighbouring link, and the
+    congestion is [m * sqrt P] (in words). *)
+
+type config = { block : int; compute : bool }
+
+type t
+
+val setup : Diva_simnet.Network.t -> config -> t
+val fiber : t -> Diva_core.Types.proc -> unit
+val verify : t -> bool

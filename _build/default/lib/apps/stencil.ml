@@ -1,0 +1,139 @@
+module Dsm = Diva_core.Dsm
+module Network = Diva_simnet.Network
+module Machine = Diva_simnet.Machine
+module Mesh = Diva_mesh.Mesh
+
+type config = { block_side : int; iterations : int; compute : bool }
+
+type dir = North | South | East | West
+
+type t = {
+  dsm : Dsm.t;
+  cfg : config;
+  q : int;
+  (* edges.(p) is the processor's published boundaries, in the order
+     north, south, west, east (the rows/columns its neighbours read). *)
+  edges : float array Dsm.var array array;
+  initial : float array array;  (* per proc, b*b row-major *)
+  final : float array array;  (* filled in by the fibers *)
+}
+
+let dir_index = function North -> 0 | South -> 1 | West -> 2 | East -> 3
+
+let initial_cell gi gj = float_of_int (((gi * 31) + (gj * 17)) mod 97)
+
+let edge_of_block ~b block = function
+  | North -> Array.init b (fun c -> block.(c))
+  | South -> Array.init b (fun c -> block.(((b - 1) * b) + c))
+  | West -> Array.init b (fun r -> block.(r * b))
+  | East -> Array.init b (fun r -> block.((r * b) + b - 1))
+
+let setup dsm cfg =
+  let mesh = Network.mesh (Dsm.net dsm) in
+  if Mesh.num_dims mesh <> 2 || Mesh.rows mesh <> Mesh.cols mesh then
+    invalid_arg "Stencil.setup: requires a square 2-D mesh";
+  let q = Mesh.rows mesh in
+  let b = cfg.block_side in
+  if b < 1 then invalid_arg "Stencil.setup: block_side must be >= 1";
+  let initial =
+    Array.init (q * q) (fun p ->
+        let i = p / q and j = p mod q in
+        Array.init (b * b) (fun k ->
+            initial_cell ((i * b) + (k / b)) ((j * b) + (k mod b))))
+  in
+  let edges =
+    Array.init (q * q) (fun p ->
+        Array.init 4 (fun d ->
+            let dir = [| North; South; West; East |].(d) in
+            Dsm.create_var dsm
+              ~name:(Printf.sprintf "edge%d.%d" p d)
+              ~owner:p ~size:(b * 8)
+              (edge_of_block ~b initial.(p) dir)))
+  in
+  { dsm; cfg; q; edges; initial; final = Array.make (q * q) [||] }
+
+(* One Jacobi update of a block given the four incoming boundary lines
+   (0.0 outside the global grid). *)
+let update ~b block ~north ~south ~west ~east =
+  let get r c =
+    if r < 0 then north.(c)
+    else if r >= b then south.(c)
+    else if c < 0 then west.(r)
+    else if c >= b then east.(r)
+    else block.((r * b) + c)
+  in
+  Array.init (b * b) (fun k ->
+      let r = k / b and c = k mod b in
+      0.25 *. (get (r - 1) c +. get (r + 1) c +. get r (c - 1) +. get r (c + 1)))
+
+let zeros b = Array.make b 0.0
+
+let fiber t p =
+  let dsm = t.dsm in
+  let net = Dsm.net dsm in
+  let machine = Network.machine net in
+  let q = t.q and b = t.cfg.block_side in
+  let i = p / q and j = p mod q in
+  let neighbour di dj = ((i + di) * q) + (j + dj) in
+  let block = ref (Array.copy t.initial.(p)) in
+  for _it = 1 to t.cfg.iterations do
+    (* Read the facing boundary of each neighbour (previous iteration). *)
+    let north =
+      if i > 0 then Dsm.read dsm p t.edges.(neighbour (-1) 0).(dir_index South)
+      else zeros b
+    in
+    let south =
+      if i < q - 1 then Dsm.read dsm p t.edges.(neighbour 1 0).(dir_index North)
+      else zeros b
+    in
+    let west =
+      if j > 0 then Dsm.read dsm p t.edges.(neighbour 0 (-1)).(dir_index East)
+      else zeros b
+    in
+    let east =
+      if j < q - 1 then Dsm.read dsm p t.edges.(neighbour 0 1).(dir_index West)
+      else zeros b
+    in
+    block := update ~b !block ~north ~south ~west ~east;
+    if t.cfg.compute then
+      Network.charge net p
+        (float_of_int (5 * b * b) *. machine.Machine.flop_time);
+    Dsm.barrier dsm p;
+    List.iter
+      (fun dir ->
+        Dsm.write dsm p t.edges.(p).(dir_index dir) (edge_of_block ~b !block dir))
+      [ North; South; West; East ];
+    Dsm.barrier dsm p
+  done;
+  t.final.(p) <- !block
+
+(* Sequential reference over the assembled grid, same formula. *)
+let reference t =
+  let q = t.q and b = t.cfg.block_side in
+  let n = q * b in
+  let grid = ref (Array.init (n * n) (fun k -> initial_cell (k / n) (k mod n))) in
+  for _ = 1 to t.cfg.iterations do
+    let g = !grid in
+    let get r c = if r < 0 || r >= n || c < 0 || c >= n then 0.0 else g.((r * n) + c) in
+    grid :=
+      Array.init (n * n) (fun k ->
+          let r = k / n and c = k mod n in
+          0.25 *. (get (r - 1) c +. get (r + 1) c +. get r (c - 1) +. get r (c + 1)))
+  done;
+  !grid
+
+let result t = Array.map Array.copy t.final
+
+let verify t =
+  let q = t.q and b = t.cfg.block_side in
+  let n = q * b in
+  let want = reference t in
+  let ok = ref true in
+  for p = 0 to (q * q) - 1 do
+    let i = p / q and j = p mod q in
+    for k = 0 to (b * b) - 1 do
+      let gr = (i * b) + (k / b) and gc = (j * b) + (k mod b) in
+      if t.final.(p).(k) <> want.((gr * n) + gc) then ok := false
+    done
+  done;
+  !ok

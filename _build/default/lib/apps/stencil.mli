@@ -1,0 +1,33 @@
+(** Jacobi iteration (2-D heat diffusion) over the DIVA layer — a classic
+    distributed-shared-memory workload with pure nearest-neighbour
+    locality, added beyond the paper's three applications to exercise the
+    library the way a downstream user would.
+
+    The n×n grid is block-partitioned over the processors exactly like the
+    matrix of {!Matmul}; every processor publishes its four block
+    boundaries as global variables, reads its neighbours' boundaries each
+    iteration, and updates its block locally. Because neighbouring blocks
+    are neighbouring processors, the access-tree strategy serves almost
+    all traffic in the lowest levels of the tree. *)
+
+type config = {
+  block_side : int;  (** side length of each processor's block *)
+  iterations : int;
+  compute : bool;  (** charge the stencil arithmetic *)
+}
+
+type t
+
+val setup : Diva_core.Dsm.t -> config -> t
+(** Requires a square mesh. The grid is initialised with a deterministic
+    hot spot; boundary condition is fixed at 0. *)
+
+val fiber : t -> Diva_core.Types.proc -> unit
+
+val verify : t -> bool
+(** Compare against a sequential Jacobi iteration of the same grid
+    (exact equality: same float operations in the same order per cell). *)
+
+val result : t -> float array array
+(** The final grid, assembled from the blocks (row-major blocks of
+    row-major cells). *)

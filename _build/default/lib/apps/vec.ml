@@ -1,0 +1,12 @@
+type t = { x : float; y : float; z : float }
+
+let zero = { x = 0.0; y = 0.0; z = 0.0 }
+let make x y z = { x; y; z }
+let add a b = { x = a.x +. b.x; y = a.y +. b.y; z = a.z +. b.z }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y; z = a.z -. b.z }
+let scale s a = { x = s *. a.x; y = s *. a.y; z = s *. a.z }
+let dot a b = (a.x *. b.x) +. (a.y *. b.y) +. (a.z *. b.z)
+let norm2 a = dot a a
+let norm a = sqrt (norm2 a)
+let min_pointwise a b = { x = min a.x b.x; y = min a.y b.y; z = min a.z b.z }
+let max_pointwise a b = { x = max a.x b.x; y = max a.y b.y; z = max a.z b.z }

@@ -1,0 +1,1 @@
+lib/core/access_tree.ml: Array Diva_mesh Diva_simnet Diva_util Hashtbl List Option Printf Queue Types Value

@@ -1,0 +1,1 @@
+lib/core/access_tree.mli: Diva_mesh Diva_simnet Types Value

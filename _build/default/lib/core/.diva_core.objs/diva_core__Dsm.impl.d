@@ -1,0 +1,1 @@
+lib/core/dsm.ml: Access_tree Diva_mesh Diva_simnet Diva_util Fixed_home List Printf Sync Types Value

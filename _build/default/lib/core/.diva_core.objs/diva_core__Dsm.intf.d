@@ -1,0 +1,1 @@
+lib/core/dsm.mli: Access_tree Diva_mesh Diva_simnet Types

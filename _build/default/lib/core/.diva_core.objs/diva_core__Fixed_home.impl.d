@@ -1,0 +1,1 @@
+lib/core/fixed_home.ml: Diva_simnet Diva_util Hashtbl List Queue Types Value

@@ -1,0 +1,1 @@
+lib/core/fixed_home.mli: Diva_simnet Types Value

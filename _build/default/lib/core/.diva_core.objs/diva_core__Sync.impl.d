@@ -1,0 +1,1 @@
+lib/core/sync.ml: Array Diva_mesh Diva_simnet Types Value

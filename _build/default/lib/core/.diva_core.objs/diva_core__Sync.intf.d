@@ -1,0 +1,1 @@
+lib/core/sync.mli: Diva_mesh Diva_simnet Diva_util Types

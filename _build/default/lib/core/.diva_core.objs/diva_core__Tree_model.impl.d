@@ -1,0 +1,1 @@
+lib/core/tree_model.ml: Array Diva_util List

@@ -1,0 +1,1 @@
+lib/core/tree_model.mli: Diva_util

@@ -1,0 +1,695 @@
+module Mesh = Diva_mesh.Mesh
+module Deco = Diva_mesh.Decomposition
+module Embedding = Diva_mesh.Embedding
+module Network = Diva_simnet.Network
+
+type body =
+  | Rreq of { origin : int }
+  | Rrep of { origins : int list }
+  | Wreq of { origin : int }
+  | Winv
+  | Wack
+  | Wdata of { origin : int }
+  | Lreq
+  | Ltok
+  | Rmove  (* state transfer of a remapped tree node; no handler action *)
+
+type Network.payload +=
+  | At of { var_id : int; from : int; tnode : int; body : body }
+
+(* Per-(variable, tree-node) protocol state. Created lazily: a missing
+   entry means the node has never been touched, in which case its copy flag
+   and its pointers are derivable from the variable's initial owner. *)
+type tstate = {
+  mutable has_copy : bool;
+  mutable toward : int;  (* neighbour toward the copy component; -1 = copy *)
+  mutable comp_edges : int list;  (* neighbours believed to be in the component *)
+  mutable read_pending : bool;  (* forwarded a read, reply not yet back *)
+  mutable parked : int list;  (* origins combined onto the in-flight reply *)
+  mutable inv_waiting : int;  (* outstanding invalidation acks *)
+  mutable inv_pred : int;  (* where to ack once [inv_waiting] drains; -1 = here *)
+  (* Raymond's token-based mutual exclusion, on the same tree. *)
+  mutable tok_toward : int;  (* neighbour toward the token; -1 = token here *)
+  mutable lqueue : int list;  (* FIFO of requesting directions (or self) *)
+  mutable lasked : bool;
+  mutable locked : bool;
+  mutable last_use : int;  (* LRU tick *)
+  mutable traffic : int;  (* messages served, for the remapping variant *)
+}
+
+type op =
+  | Oread of Types.proc * (Value.t -> unit)
+  | Owrite of Types.proc * Value.t * (unit -> unit)
+
+type wtxn = {
+  w_origin : int;  (* writer's leaf tree node *)
+  w_value : Value.t;
+  w_done : unit -> unit;
+  mutable w_u : int;  (* component node coordinating the invalidation *)
+}
+
+(* Per-variable transaction control: writes are serialized against each
+   other and against in-flight reads; cache hits bypass this entirely. *)
+type ctl = {
+  var : Types.var;
+  mutable ncopies : int;
+  mutable reading : int;  (* read transactions in flight *)
+  mutable writing : bool;
+  pending : op Queue.t;
+  mutable wtxn : wtxn option;
+  readers : (int, (Value.t -> unit) list) Hashtbl.t;  (* origin leaf -> ks *)
+  mutable touched : int list;  (* materialised state keys, for [retire] *)
+}
+
+type t = {
+  net : Network.t;
+  deco : Deco.t;
+  embedding : Embedding.kind;
+  capacity : int option;
+  combining : bool;
+  remap_threshold : int option;
+  remap_rng : Diva_util.Prng.t;
+  placement_override : (int, int) Hashtbl.t;  (* state key -> mesh node *)
+  mutable remap_count : int;
+  vars : (int, ctl) Hashtbl.t;
+  states : (int, tstate) Hashtbl.t;  (* var_id * num_tree_nodes + tnode *)
+  lock_waiters : (int, unit -> unit) Hashtbl.t;  (* same key, at leaves *)
+  mem_used : int array;  (* bytes per processor, only if capacity is set *)
+  held : (int, unit) Hashtbl.t array;  (* per processor: state keys of copies *)
+  mutable lru_tick : int;
+  mutable eviction_count : int;
+}
+
+let create net deco ~embedding ?capacity ?(combining = true) ?remap_threshold
+    () =
+  {
+    net;
+    deco;
+    embedding;
+    capacity;
+    combining;
+    remap_threshold;
+    remap_rng = Diva_util.Prng.split (Network.rng net);
+    placement_override = Hashtbl.create 64;
+    remap_count = 0;
+    vars = Hashtbl.create 1024;
+    states = Hashtbl.create 4096;
+    lock_waiters = Hashtbl.create 64;
+    mem_used = Array.make (Network.num_nodes net) 0;
+    held =
+      (match capacity with
+      | None -> [||]
+      | Some _ -> Array.init (Network.num_nodes net) (fun _ -> Hashtbl.create 8));
+    lru_tick = 0;
+    eviction_count = 0;
+  }
+
+let key t var_id tnode = (var_id * t.deco.Deco.num_tree_nodes) + tnode
+
+let place t (var : Types.var) tnode =
+  match Hashtbl.find_opt t.placement_override (key t var.Types.id tnode) with
+  | Some node -> node
+  | None -> Embedding.place_lazy t.embedding t.deco ~seed:var.Types.seed tnode
+let leaf t p = t.deco.Deco.leaf_of_proc.(p)
+
+let get_ctl t (var : Types.var) =
+  match Hashtbl.find_opt t.vars var.Types.id with
+  | Some c -> c
+  | None ->
+      let c =
+        { var; ncopies = 1; reading = 0; writing = false;
+          pending = Queue.create (); wtxn = None; readers = Hashtbl.create 2;
+          touched = [] }
+      in
+      Hashtbl.add t.vars var.Types.id c;
+      c
+
+let get_state t (ctl : ctl) tnode =
+  let k = key t ctl.var.Types.id tnode in
+  match Hashtbl.find_opt t.states k with
+  | Some s -> s
+  | None ->
+      let owner_leaf = leaf t ctl.var.Types.owner in
+      let is_home = tnode = owner_leaf in
+      let toward =
+        if is_home then -1 else Deco.next_hop t.deco ~from:tnode ~target:owner_leaf
+      in
+      let s =
+        { has_copy = is_home; toward; comp_edges = []; read_pending = false;
+          parked = []; inv_waiting = 0; inv_pred = -1; tok_toward = toward;
+          lqueue = []; lasked = false; locked = false; last_use = 0;
+          traffic = 0 }
+      in
+      Hashtbl.add t.states k s;
+      ctl.touched <- k :: ctl.touched;
+      s
+
+let touch t st =
+  t.lru_tick <- t.lru_tick + 1;
+  st.last_use <- t.lru_tick
+
+let send_tree t (ctl : ctl) ~from ~tnode ~size body =
+  let src = place t ctl.var from and dst = place t ctl.var tnode in
+  Network.send t.net ~src ~dst ~size
+    (At { var_id = ctl.var.Types.id; from; tnode; body })
+
+let send_ctl t ctl ~from ~tnode body =
+  send_tree t ctl ~from ~tnode ~size:Types.control_size body
+
+let send_data t ctl ~from ~tnode body =
+  send_tree t ctl ~from ~tnode ~size:(Types.data_size ctl.var) body
+
+(* ------------------------------------------------------------------ *)
+(* Copy bookkeeping and LRU replacement                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A copy is evictable if removing it keeps the component connected (it is
+   a component leaf), it is not the last copy, and no transaction is
+   touching it. Eviction is silent: the remaining neighbour keeps a stale
+   component edge, which the invalidation handler tolerates. *)
+let evictable _t (ctl : ctl) st =
+  st.has_copy && ctl.ncopies > 1
+  && (not ctl.writing)
+  && (not st.read_pending)
+  && st.parked = []
+  && st.inv_waiting = 0
+  && List.length st.comp_edges <= 1
+
+(* Scan only the copies held at [proc] (the per-processor registry), not
+   the global state table. *)
+let evict t proc =
+  let best = ref None in
+  Hashtbl.iter
+    (fun k () ->
+      match Hashtbl.find_opt t.states k with
+      | None -> ()
+      | Some st ->
+          if st.has_copy then begin
+            let var_id = k / t.deco.Deco.num_tree_nodes in
+            match Hashtbl.find_opt t.vars var_id with
+            | Some ctl when evictable t ctl st -> (
+                match !best with
+                | Some (_, _, _, lu) when lu <= st.last_use -> ()
+                | _ -> best := Some (k, ctl, st, st.last_use))
+            | _ -> ()
+          end)
+    t.held.(proc);
+  match !best with
+  | None -> false
+  | Some (k, ctl, st, _) ->
+      st.has_copy <- false;
+      st.toward <- (match st.comp_edges with e :: _ -> e | [] -> assert false);
+      st.comp_edges <- [];
+      ctl.ncopies <- ctl.ncopies - 1;
+      t.mem_used.(proc) <- t.mem_used.(proc) - ctl.var.Types.data_size;
+      Hashtbl.remove t.held.(proc) k;
+      t.eviction_count <- t.eviction_count + 1;
+      true
+
+let account_copy t (ctl : ctl) tnode =
+  match t.capacity with
+  | None -> ()
+  | Some cap ->
+      let proc = place t ctl.var tnode in
+      t.mem_used.(proc) <- t.mem_used.(proc) + ctl.var.Types.data_size;
+      Hashtbl.replace t.held.(proc) (key t ctl.var.Types.id tnode) ();
+      let continue = ref true in
+      while t.mem_used.(proc) > cap && !continue do
+        continue := evict t proc
+      done
+
+let unaccount_copy t (ctl : ctl) tnode =
+  match t.capacity with
+  | None -> ()
+  | Some _ ->
+      let proc = place t ctl.var tnode in
+      t.mem_used.(proc) <- t.mem_used.(proc) - ctl.var.Types.data_size;
+      Hashtbl.remove t.held.(proc) (key t ctl.var.Types.id tnode)
+
+let add_copy t ctl tnode st =
+  if not st.has_copy then begin
+    st.has_copy <- true;
+    st.toward <- -1;
+    ctl.ncopies <- ctl.ncopies + 1;
+    touch t st;
+    account_copy t ctl tnode
+  end
+
+let remove_copy t ctl tnode st =
+  if st.has_copy then begin
+    st.has_copy <- false;
+    ctl.ncopies <- ctl.ncopies - 1;
+    unaccount_copy t ctl tnode
+  end
+
+let add_edge st nb = if not (List.mem nb st.comp_edges) then st.comp_edges <- nb :: st.comp_edges
+
+(* ------------------------------------------------------------------ *)
+(* Transaction gating                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let complete_reads _t ctl tnode =
+  match Hashtbl.find_opt ctl.readers tnode with
+  | None -> ()
+  | Some ks ->
+      Hashtbl.remove ctl.readers tnode;
+      ctl.reading <- ctl.reading - List.length ks;
+      let v = ctl.var.Types.value in
+      List.iter (fun k -> k v) (List.rev ks)
+
+let rec process_queue t ctl =
+  if not ctl.writing then
+    match Queue.peek_opt ctl.pending with
+    | Some (Oread (p, k)) ->
+        ignore (Queue.pop ctl.pending);
+        start_read t ctl p k;
+        process_queue t ctl
+    | Some (Owrite (p, v, k)) when ctl.reading = 0 ->
+        ignore (Queue.pop ctl.pending);
+        start_write t ctl p v k
+    | Some (Owrite _) | None -> ()
+
+and start_read t ctl p k =
+  ctl.reading <- ctl.reading + 1;
+  let origin = leaf t p in
+  let ks = Option.value ~default:[] (Hashtbl.find_opt ctl.readers origin) in
+  Hashtbl.replace ctl.readers origin (k :: ks);
+  let st = get_state t ctl origin in
+  if st.has_copy then begin
+    touch t st;
+    complete_reads t ctl origin;
+    process_queue t ctl
+  end
+  else if st.read_pending then
+    (* A previous read from this leaf is in flight; its reply will arrive
+       here and complete every registered reader. *)
+    ()
+  else begin
+    st.read_pending <- true;
+    send_ctl t ctl ~from:origin ~tnode:st.toward (Rreq { origin })
+  end
+
+and start_write t ctl p value k =
+  ctl.writing <- true;
+  let origin = leaf t p in
+  ctl.wtxn <- Some { w_origin = origin; w_value = value; w_done = k; w_u = origin };
+  let st = get_state t ctl origin in
+  if st.has_copy then begin
+    touch t st;
+    begin_invalidation t ctl origin
+  end
+  else send_data t ctl ~from:origin ~tnode:st.toward (Wreq { origin })
+
+and begin_invalidation t ctl u =
+  (match ctl.wtxn with Some w -> w.w_u <- u | None -> assert false);
+  let st = get_state t ctl u in
+  let nbrs = st.comp_edges in
+  st.comp_edges <- [];
+  if nbrs = [] then finish_invalidation t ctl
+  else begin
+    st.inv_waiting <- List.length nbrs;
+    st.inv_pred <- -1;
+    List.iter (fun nb -> send_ctl t ctl ~from:u ~tnode:nb Winv) nbrs
+  end
+
+and finish_invalidation t ctl =
+  let w = match ctl.wtxn with Some w -> w | None -> assert false in
+  ctl.var.Types.value <- w.w_value;
+  if ctl.ncopies <> 1 then
+    failwith
+      (Printf.sprintf "access tree: %d copies of %s survive invalidation"
+         ctl.ncopies ctl.var.Types.name);
+  if w.w_u = w.w_origin then complete_write t ctl
+  else begin
+    let st = get_state t ctl w.w_u in
+    let nxt = Deco.next_hop t.deco ~from:w.w_u ~target:w.w_origin in
+    add_edge st nxt;
+    send_data t ctl ~from:w.w_u ~tnode:nxt (Wdata { origin = w.w_origin })
+  end
+
+and complete_write t ctl =
+  let w = match ctl.wtxn with Some w -> w | None -> assert false in
+  ctl.wtxn <- None;
+  ctl.writing <- false;
+  w.w_done ();
+  process_queue t ctl
+
+(* ------------------------------------------------------------------ *)
+(* Message handlers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let on_rreq t ctl ~tnode ~origin =
+  let st = get_state t ctl tnode in
+  if st.has_copy then begin
+    touch t st;
+    let nxt = Deco.next_hop t.deco ~from:tnode ~target:origin in
+    add_edge st nxt;
+    send_data t ctl ~from:tnode ~tnode:nxt (Rrep { origins = [ origin ] })
+  end
+  else if st.read_pending && t.combining then st.parked <- origin :: st.parked
+  else begin
+    if t.combining then st.read_pending <- true;
+    send_ctl t ctl ~from:tnode ~tnode:st.toward (Rreq { origin })
+  end
+
+let on_rrep t ctl ~from ~tnode ~origins =
+  let st = get_state t ctl tnode in
+  add_copy t ctl tnode st;
+  touch t st;
+  add_edge st from;
+  st.read_pending <- false;
+  let targets =
+    List.filter (fun o -> o <> tnode) (origins @ st.parked)
+  in
+  st.parked <- [];
+  (* Multicast along tree branches: one message per distinct direction. *)
+  let groups = Hashtbl.create 4 in
+  List.iter
+    (fun o ->
+      let nxt = Deco.next_hop t.deco ~from:tnode ~target:o in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt groups nxt) in
+      Hashtbl.replace groups nxt (o :: cur))
+    targets;
+  Hashtbl.iter
+    (fun nxt os ->
+      add_edge st nxt;
+      send_data t ctl ~from:tnode ~tnode:nxt (Rrep { origins = os }))
+    groups;
+  (* Completions last: they may resume fibers that issue new operations. *)
+  complete_reads t ctl tnode;
+  process_queue t ctl
+
+let on_wreq t ctl ~tnode ~origin =
+  let st = get_state t ctl tnode in
+  if st.has_copy then begin
+    touch t st;
+    begin_invalidation t ctl tnode
+  end
+  else send_data t ctl ~from:tnode ~tnode:st.toward (Wreq { origin })
+
+let on_winv t ctl ~from ~tnode =
+  let st = get_state t ctl tnode in
+  if not st.has_copy then begin
+    (* Stale component edge left behind by a silent LRU eviction. *)
+    st.toward <- from;
+    send_ctl t ctl ~from:tnode ~tnode:from Wack
+  end
+  else begin
+    remove_copy t ctl tnode st;
+    st.toward <- from;
+    let out = List.filter (fun nb -> nb <> from) st.comp_edges in
+    st.comp_edges <- [];
+    if out = [] then send_ctl t ctl ~from:tnode ~tnode:from Wack
+    else begin
+      st.inv_waiting <- List.length out;
+      st.inv_pred <- from;
+      List.iter (fun nb -> send_ctl t ctl ~from:tnode ~tnode:nb Winv) out
+    end
+  end
+
+let on_wack t ctl ~tnode =
+  let st = get_state t ctl tnode in
+  assert (st.inv_waiting > 0);
+  st.inv_waiting <- st.inv_waiting - 1;
+  if st.inv_waiting = 0 then
+    if st.inv_pred = -1 then finish_invalidation t ctl
+    else begin
+      let pred = st.inv_pred in
+      st.inv_pred <- -1;
+      send_ctl t ctl ~from:tnode ~tnode:pred Wack
+    end
+
+let on_wdata t ctl ~from ~tnode ~origin =
+  let st = get_state t ctl tnode in
+  add_copy t ctl tnode st;
+  touch t st;
+  st.comp_edges <- [ from ];
+  if tnode = origin then complete_write t ctl
+  else begin
+    let nxt = Deco.next_hop t.deco ~from:tnode ~target:origin in
+    add_edge st nxt;
+    send_data t ctl ~from:tnode ~tnode:nxt (Wdata { origin })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Raymond's mutual exclusion on the access tree                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec assign_privilege t ctl tnode =
+  let st = get_state t ctl tnode in
+  if st.tok_toward = -1 && (not st.locked) && st.lqueue <> [] then begin
+    let next, rest =
+      match st.lqueue with n :: r -> (n, r) | [] -> assert false
+    in
+    st.lqueue <- rest;
+    st.lasked <- false;
+    if next = tnode then begin
+      st.locked <- true;
+      match Hashtbl.find_opt t.lock_waiters (key t ctl.var.Types.id tnode) with
+      | Some k ->
+          Hashtbl.remove t.lock_waiters (key t ctl.var.Types.id tnode);
+          k ()
+      | None -> assert false
+    end
+    else begin
+      st.tok_toward <- next;
+      send_ctl t ctl ~from:tnode ~tnode:next Ltok;
+      make_request t ctl tnode
+    end
+  end
+
+and make_request t ctl tnode =
+  let st = get_state t ctl tnode in
+  if st.tok_toward <> -1 && st.lqueue <> [] && not st.lasked then begin
+    st.lasked <- true;
+    send_ctl t ctl ~from:tnode ~tnode:st.tok_toward Lreq
+  end
+
+let on_lreq t ctl ~from ~tnode =
+  let st = get_state t ctl tnode in
+  st.lqueue <- st.lqueue @ [ from ];
+  assign_privilege t ctl tnode;
+  make_request t ctl tnode
+
+let on_ltok t ctl ~tnode =
+  let st = get_state t ctl tnode in
+  st.tok_toward <- -1;
+  assign_privilege t ctl tnode;
+  make_request t ctl tnode
+
+let lock t p var ~k =
+  let ctl = get_ctl t var in
+  let tnode = leaf t p in
+  let st = get_state t ctl tnode in
+  Hashtbl.replace t.lock_waiters (key t var.Types.id tnode) k;
+  st.lqueue <- st.lqueue @ [ tnode ];
+  assign_privilege t ctl tnode;
+  make_request t ctl tnode
+
+let unlock t p var =
+  let ctl = get_ctl t var in
+  let tnode = leaf t p in
+  let st = get_state t ctl tnode in
+  if not st.locked then
+    invalid_arg "Access_tree.unlock: processor does not hold the lock";
+  st.locked <- false;
+  assign_privilege t ctl tnode;
+  make_request t ctl tnode
+
+(* ------------------------------------------------------------------ *)
+(* Public operations                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let cached t p var =
+  let ctl = get_ctl t var in
+  let st = get_state t ctl (leaf t p) in
+  if st.has_copy then touch t st;
+  st.has_copy
+
+let sole_copy t p var =
+  let ctl = get_ctl t var in
+  let st = get_state t ctl (leaf t p) in
+  st.has_copy && ctl.ncopies = 1 && (not ctl.writing) && ctl.reading = 0
+  && Queue.is_empty ctl.pending
+
+let read t p var ~k =
+  let ctl = get_ctl t var in
+  if ctl.writing || not (Queue.is_empty ctl.pending) then
+    Queue.add (Oread (p, k)) ctl.pending
+  else start_read t ctl p k
+
+let write t p var value ~k =
+  let ctl = get_ctl t var in
+  if ctl.writing || ctl.reading > 0 || not (Queue.is_empty ctl.pending) then
+    Queue.add (Owrite (p, value, k)) ctl.pending
+  else start_write t ctl p value k
+
+(* The remapping variant of the original FOCS'97 strategy: once a tree node
+   has served [threshold] messages it moves to a fresh random processor of
+   its submesh. In-flight messages still reach its state (states are keyed
+   by tree-node id, not by placement); only the link traffic changes. *)
+let maybe_remap t (ctl : ctl) tnode =
+  match t.remap_threshold with
+  | None -> ()
+  | Some threshold ->
+      let st = get_state t ctl tnode in
+      st.traffic <- st.traffic + 1;
+      if st.traffic >= threshold && not (Deco.is_leaf t.deco tnode) then begin
+        st.traffic <- 0;
+        let sm = t.deco.Deco.submesh.(tnode) in
+        let mesh = t.deco.Deco.mesh in
+        let coords =
+          Array.mapi
+            (fun k o -> o + Diva_util.Prng.int t.remap_rng sm.Deco.sizes.(k))
+            sm.Deco.origin
+        in
+        let fresh = Mesh.node_at_nd mesh coords in
+        let old = place t ctl.var tnode in
+        if fresh <> old then begin
+          (* Move the node's state (and copy, if any). *)
+          let size =
+            if st.has_copy then Types.data_size ctl.var else Types.control_size
+          in
+          (match t.capacity with
+          | Some _ when st.has_copy ->
+              let k = key t ctl.var.Types.id tnode in
+              t.mem_used.(old) <- t.mem_used.(old) - ctl.var.Types.data_size;
+              Hashtbl.remove t.held.(old) k;
+              t.mem_used.(fresh) <- t.mem_used.(fresh) + ctl.var.Types.data_size;
+              Hashtbl.replace t.held.(fresh) k ()
+          | _ -> ());
+          Hashtbl.replace t.placement_override (key t ctl.var.Types.id tnode) fresh;
+          t.remap_count <- t.remap_count + 1;
+          Network.send t.net ~src:old ~dst:fresh ~size
+            (At { var_id = ctl.var.Types.id; from = tnode; tnode; body = Rmove })
+        end
+      end
+
+let handle t (msg : Network.msg) =
+  match msg.Network.m_payload with
+  | At { var_id; from; tnode; body } ->
+      let ctl =
+        match Hashtbl.find_opt t.vars var_id with
+        | Some c -> c
+        | None -> failwith "Access_tree.handle: message for unknown variable"
+      in
+      (match body with
+      | Rreq { origin } -> on_rreq t ctl ~tnode ~origin
+      | Rrep { origins } -> on_rrep t ctl ~from ~tnode ~origins
+      | Wreq { origin } -> on_wreq t ctl ~tnode ~origin
+      | Winv -> on_winv t ctl ~from ~tnode
+      | Wack -> on_wack t ctl ~tnode
+      | Wdata { origin } -> on_wdata t ctl ~from ~tnode ~origin
+      | Lreq -> on_lreq t ctl ~from ~tnode
+      | Ltok -> on_ltok t ctl ~tnode
+      | Rmove -> ());
+      (match body with Rmove -> () | _ -> maybe_remap t ctl tnode);
+      true
+  | _ -> false
+
+let ncopies t var = (get_ctl t var).ncopies
+
+let copy_holders t var =
+  let acc = ref [] in
+  let nt = t.deco.Deco.num_tree_nodes in
+  Hashtbl.iter
+    (fun k st -> if st.has_copy && k / nt = var.Types.id then acc := (k mod nt) :: !acc)
+    t.states;
+  (* The initial owner's leaf may never have been materialised. *)
+  let owner_leaf = leaf t var.Types.owner in
+  if
+    (not (Hashtbl.mem t.states (key t var.Types.id owner_leaf)))
+    && not (List.mem owner_leaf !acc)
+  then acc := owner_leaf :: !acc;
+  List.sort compare !acc
+
+let evictions t = t.eviction_count
+let remaps t = t.remap_count
+
+let retire t (var : Types.var) =
+  match Hashtbl.find_opt t.vars var.Types.id with
+  | None -> ()
+  | Some ctl ->
+      if ctl.writing || ctl.reading > 0 || not (Queue.is_empty ctl.pending) then
+        invalid_arg "Access_tree.retire: variable has transactions in flight";
+      List.iter
+        (fun k ->
+          (match (t.capacity, Hashtbl.find_opt t.states k) with
+          | Some _, Some st when st.has_copy ->
+              let tnode = k mod t.deco.Deco.num_tree_nodes in
+              let proc = place t ctl.var tnode in
+              t.mem_used.(proc) <- t.mem_used.(proc) - ctl.var.Types.data_size;
+              Hashtbl.remove t.held.(proc) k
+          | _ -> ());
+          Hashtbl.remove t.placement_override k;
+          Hashtbl.remove t.states k)
+        ctl.touched;
+      (match t.capacity with
+      | Some _ when not (Hashtbl.mem t.states (key t var.Types.id (leaf t var.Types.owner))) ->
+          (* The owner's initial copy was implicit (never materialised); it
+             was also never accounted, so nothing to release. *)
+          ()
+      | _ -> ());
+      Hashtbl.remove t.vars var.Types.id
+
+let validate t (var : Types.var) =
+  match Hashtbl.find_opt t.vars var.Types.id with
+  | None -> Ok ()  (* never accessed: implicit singleton at the owner *)
+  | Some ctl ->
+      let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+      if ctl.writing || ctl.reading > 0 || not (Queue.is_empty ctl.pending) then
+        err "%s: transactions in flight" var.Types.name
+      else begin
+        let holders = copy_holders t var in
+        let nh = List.length holders in
+        if nh <> ctl.ncopies then
+          err "%s: ncopies %d but %d holders" var.Types.name ctl.ncopies nh
+        else if nh = 0 then err "%s: no copies at all" var.Types.name
+        else begin
+          (* Connectivity: every holder except the shallowest reaches
+             another holder via its tree parent chain within the component.
+             Equivalently: for each holder other than the minimum-depth
+             one, its parent-ward neighbour on the path toward the first
+             holder must also be a holder (connected subtrees of a tree are
+             exactly sets closed under taking the path to a fixed member).
+             We check pairwise paths to the first holder. *)
+          let first = List.hd holders in
+          let connected =
+            List.for_all
+              (fun h ->
+                h = first
+                || List.for_all
+                     (fun x -> List.mem x holders)
+                     (let rec walk cur acc =
+                        if cur = first then acc
+                        else
+                          let nxt = Deco.next_hop t.deco ~from:cur ~target:first in
+                          walk nxt (nxt :: acc)
+                      in
+                      walk h [ h ]))
+              holders
+          in
+          if not connected then err "%s: copy component disconnected" var.Types.name
+          else begin
+            (* Every materialised pointer chain reaches the component. *)
+            let nt = t.deco.Deco.num_tree_nodes in
+            let bad = ref None in
+            Hashtbl.iter
+              (fun k st ->
+                if k / nt = var.Types.id && not st.has_copy then begin
+                  let rec chase cur steps =
+                    if steps > nt then false
+                    else if List.mem cur holders then true
+                    else
+                      let s = get_state t ctl cur in
+                      if s.has_copy then true else chase s.toward (steps + 1)
+                  in
+                  if not (chase (k mod nt) 0) then bad := Some (k mod nt)
+                end)
+              t.states;
+            match !bad with
+            | Some tn -> err "%s: pointer chain from node %d is lost" var.Types.name tn
+            | None -> Ok ()
+          end
+        end
+      end

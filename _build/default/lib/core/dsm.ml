@@ -1,0 +1,226 @@
+module Deco = Diva_mesh.Decomposition
+module Embedding = Diva_mesh.Embedding
+module Network = Diva_simnet.Network
+module Machine = Diva_simnet.Machine
+module Prng = Diva_util.Prng
+
+type strategy =
+  | Access_tree of {
+      arity : int;
+      leaf_size : int;
+      embedding : Embedding.kind;
+      capacity : int option;
+      combining : bool;
+      remap_threshold : int option;
+    }
+  | Fixed_home
+
+let access_tree ?(leaf_size = 1) ?(embedding = Embedding.Regular) ?capacity
+    ?(combining = true) ?remap_threshold ~arity () =
+  Access_tree { arity; leaf_size; embedding; capacity; combining; remap_threshold }
+
+let strategy_name = function
+  | Fixed_home -> "fixed home"
+  | Access_tree { arity; leaf_size; _ } ->
+      Deco.strategy_name ~arity:(Deco.arity_of_int arity) ~leaf_size
+
+type impl = Tree of Access_tree.t | Home of Fixed_home.t
+
+type t = {
+  network : Network.t;
+  impl : impl;
+  sync : Sync.t;
+  read_hit_cost : float;
+  write_hit_cost : float;
+  mutable next_var_id : int;
+  var_seed : int64;
+  mutable n_reads : int;
+  mutable n_writes : int;
+  mutable n_read_hits : int;
+  mutable n_write_hits : int;
+}
+
+type 'a var = {
+  v : Types.var;
+  inj : 'a -> Value.t;
+  proj : Value.t -> 'a;
+}
+
+let create network ~strategy ?(read_hit_ops = 10) ?(write_hit_ops = 10) () =
+  let mesh = Network.mesh network in
+  let rng = Prng.split (Network.rng network) in
+  let impl, sync_deco =
+    match strategy with
+    | Access_tree { arity; leaf_size; embedding; capacity; combining;
+                    remap_threshold } ->
+        let deco = Deco.build mesh ~arity:(Deco.arity_of_int arity) ~leaf_size in
+        ( Tree
+            (Access_tree.create network deco ~embedding ?capacity ~combining
+               ?remap_threshold ()),
+          deco )
+    | Fixed_home ->
+        (Home (Fixed_home.create network ()), Deco.build mesh ~arity:Deco.Four ~leaf_size:1)
+  in
+  let sync = Sync.create network sync_deco ~rng:(Prng.split rng) () in
+  let machine = Network.machine network in
+  let t =
+    {
+      network;
+      impl;
+      sync;
+      read_hit_cost = float_of_int read_hit_ops *. machine.Machine.int_op_time;
+      write_hit_cost = float_of_int write_hit_ops *. machine.Machine.int_op_time;
+      next_var_id = 0;
+      var_seed = Prng.bits64 rng;
+      n_reads = 0;
+      n_writes = 0;
+      n_read_hits = 0;
+      n_write_hits = 0;
+    }
+  in
+  let dispatch net msg =
+    let consumed =
+      (match t.impl with
+      | Tree at -> Access_tree.handle at msg
+      | Home fh -> Fixed_home.handle fh msg)
+      || Sync.handle t.sync msg
+    in
+    if not consumed then Network.mailbox_deliver net msg
+  in
+  for node = 0 to Network.num_nodes network - 1 do
+    Network.set_handler network node dispatch
+  done;
+  t
+
+let net t = t.network
+let num_procs t = Network.num_nodes t.network
+
+let create_var t ?name ~owner ~size init =
+  if owner < 0 || owner >= num_procs t then invalid_arg "Dsm.create_var: bad owner";
+  if size < 0 then invalid_arg "Dsm.create_var: negative size";
+  let id = t.next_var_id in
+  t.next_var_id <- id + 1;
+  let name = match name with Some n -> n | None -> Printf.sprintf "v%d" id in
+  let inj, proj = Value.embed () in
+  let v =
+    {
+      Types.id;
+      name;
+      data_size = size;
+      owner;
+      seed = Prng.hash2 t.var_seed id;
+      value = inj init;
+    }
+  in
+  { v; inj; proj }
+
+let read t p var =
+  t.n_reads <- t.n_reads + 1;
+  let hit =
+    match t.impl with
+    | Tree at -> Access_tree.cached at p var.v
+    | Home fh -> Fixed_home.cached fh p var.v
+  in
+  if hit then begin
+    t.n_read_hits <- t.n_read_hits + 1;
+    Network.charge t.network p t.read_hit_cost;
+    var.proj var.v.Types.value
+  end
+  else begin
+    Network.flush_charge t.network p;
+    let packed =
+      Network.suspend (fun resume ->
+          match t.impl with
+          | Tree at -> Access_tree.read at p var.v ~k:resume
+          | Home fh -> Fixed_home.read fh p var.v ~k:resume)
+    in
+    var.proj packed
+  end
+
+let write t p var x =
+  t.n_writes <- t.n_writes + 1;
+  let value = var.inj x in
+  let sole =
+    match t.impl with
+    | Tree at -> Access_tree.sole_copy at p var.v
+    | Home fh -> Fixed_home.sole_copy fh p var.v
+  in
+  if sole then begin
+    t.n_write_hits <- t.n_write_hits + 1;
+    Network.charge t.network p t.write_hit_cost;
+    var.v.Types.value <- value
+  end
+  else begin
+    Network.flush_charge t.network p;
+    Network.suspend (fun resume ->
+        let k () = resume () in
+        match t.impl with
+        | Tree at -> Access_tree.write at p var.v value ~k
+        | Home fh -> Fixed_home.write fh p var.v value ~k)
+  end
+
+let lock t p var =
+  Network.flush_charge t.network p;
+  Network.suspend (fun resume ->
+      let k () = resume () in
+      match t.impl with
+      | Tree at -> Access_tree.lock at p var.v ~k
+      | Home fh -> Fixed_home.lock fh p var.v ~k)
+
+let unlock t p var =
+  Network.charge t.network p t.write_hit_cost;
+  match t.impl with
+  | Tree at -> Access_tree.unlock at p var.v
+  | Home fh -> Fixed_home.unlock fh p var.v
+
+let barrier t p =
+  Network.flush_charge t.network p;
+  Network.suspend (fun resume -> Sync.barrier t.sync p ~k:resume)
+
+type 'a reducer = 'a Sync.reducer
+
+let reducer t ~combine ~size = Sync.reducer t.sync ~combine ~size
+
+let reduce t p r x =
+  Network.flush_charge t.network p;
+  Network.suspend (fun resume -> Sync.reduce t.sync r p x ~k:resume)
+
+let peek var = var.proj var.v.Types.value
+let var_name var = var.v.Types.name
+let reads t = t.n_reads
+let writes t = t.n_writes
+let read_hits t = t.n_read_hits
+let write_hits t = t.n_write_hits
+
+let ncopies t var =
+  match t.impl with
+  | Tree at -> Access_tree.ncopies at var.v
+  | Home fh -> Fixed_home.ncopies fh var.v
+
+let evictions t =
+  match t.impl with Tree at -> Access_tree.evictions at | Home _ -> 0
+
+let remaps t =
+  match t.impl with Tree at -> Access_tree.remaps at | Home _ -> 0
+
+let copy_holder_places t var =
+  match t.impl with
+  | Tree at ->
+      List.sort_uniq compare
+        (List.map (Access_tree.place at var.v) (Access_tree.copy_holders at var.v))
+  | Home fh -> Fixed_home.copy_holders fh var.v
+
+let access_tree_handle t =
+  match t.impl with Tree at -> Some at | Home _ -> None
+
+let typed var = var.v
+
+let retire_var t var =
+  match t.impl with
+  | Tree at -> Access_tree.retire at var.v
+  | Home fh -> Fixed_home.retire fh var.v
+
+let validate_var t var =
+  match t.impl with
+  | Tree at -> Access_tree.validate at var.v
+  | Home _ -> Ok ()

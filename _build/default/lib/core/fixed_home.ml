@@ -1,0 +1,263 @@
+module Network = Diva_simnet.Network
+module Prng = Diva_util.Prng
+
+type owner = Home | Owned_by of Types.proc
+
+type body =
+  | Hrreq of { origin : Types.proc }
+  | Hfetch
+  | Hfdata
+  | Hrdata of { reader : Types.proc; epoch : int; v : Value.t }
+  | Hwreq of { origin : Types.proc; value : Value.t }
+  | Hinv
+  | Hinvack
+  | Hgrant of { origin : Types.proc }
+  | Hlock of { origin : Types.proc }
+  | Hlgrant of { origin : Types.proc }
+  | Hunlock
+
+type Network.payload += Fh of { var_id : int; body : body }
+
+type txn =
+  | Tread of { origin : Types.proc }
+  | Twrite of { origin : Types.proc; value : Value.t }
+
+type hstate = {
+  var : Types.var;
+  home : Types.proc;
+  mutable owner : owner;
+  home_copies : (Types.proc, unit) Hashtbl.t;  (* the home's registry *)
+  valid : (Types.proc, unit) Hashtbl.t;  (* per-processor hit flags *)
+  mutable epoch : int;
+  mutable busy : bool;
+  q : txn Queue.t;
+  mutable cur : txn option;
+  mutable acks : int;
+  (* Lock management: FIFO queue at the home. *)
+  mutable lock_held : bool;
+  lq : Types.proc Queue.t;
+}
+
+type t = {
+  net : Network.t;
+  vars : (int, hstate) Hashtbl.t;
+  read_waiters : (int, Value.t -> unit) Hashtbl.t;  (* var_id * P + proc *)
+  write_waiters : (int, unit -> unit) Hashtbl.t;
+  lock_waiters : (int, unit -> unit) Hashtbl.t;
+}
+
+let create net () =
+  {
+    net;
+    vars = Hashtbl.create 1024;
+    read_waiters = Hashtbl.create 64;
+    write_waiters = Hashtbl.create 64;
+    lock_waiters = Hashtbl.create 64;
+  }
+
+let get t (var : Types.var) =
+  match Hashtbl.find_opt t.vars var.Types.id with
+  | Some s -> s
+  | None ->
+      let nprocs = Network.num_nodes t.net in
+      let home = Prng.hash2_int var.Types.seed 1 ~bound:nprocs in
+      let s =
+        { var; home; owner = Owned_by var.Types.owner;
+          home_copies = Hashtbl.create 4; valid = Hashtbl.create 4; epoch = 0;
+          busy = false; q = Queue.create (); cur = None; acks = 0;
+          lock_held = false; lq = Queue.create () }
+      in
+      Hashtbl.add s.home_copies var.Types.owner ();
+      Hashtbl.add s.valid var.Types.owner ();
+      Hashtbl.add t.vars var.Types.id s;
+      s
+
+let home t var = (get t var).home
+let wkey t var_id p = (var_id * Network.num_nodes t.net) + p
+
+let send t hs ~src ~dst ~size body =
+  Network.send t.net ~src ~dst ~size (Fh { var_id = hs.var.Types.id; body })
+
+let send_ctl t hs ~src ~dst body = send t hs ~src ~dst ~size:Types.control_size body
+
+let send_data t hs ~src ~dst body =
+  send t hs ~src ~dst ~size:(Types.data_size hs.var) body
+
+(* ------------------------------------------------------------------ *)
+(* Home-side transaction machine                                        *)
+(* ------------------------------------------------------------------ *)
+
+let reply_read t hs origin =
+  (* Serialisation point of the read: the home sends the current value. *)
+  Hashtbl.replace hs.home_copies origin ();
+  send_data t hs ~src:hs.home ~dst:origin
+    (Hrdata { reader = origin; epoch = hs.epoch; v = hs.var.Types.value });
+  hs.cur <- None;
+  hs.busy <- false
+
+let commit_write t hs origin value =
+  hs.var.Types.value <- value;
+  hs.epoch <- hs.epoch + 1;
+  Hashtbl.reset hs.home_copies;
+  Hashtbl.add hs.home_copies origin ();
+  hs.owner <- Owned_by origin;
+  send_ctl t hs ~src:hs.home ~dst:origin (Hgrant { origin });
+  hs.cur <- None;
+  hs.busy <- false
+
+let rec process t hs =
+  if (not hs.busy) && not (Queue.is_empty hs.q) then begin
+    let txn = Queue.pop hs.q in
+    hs.busy <- true;
+    hs.cur <- Some txn;
+    match txn with
+    | Tread { origin } -> (
+        match hs.owner with
+        | Owned_by ow when ow <> origin ->
+            (* Move the data (and ownership) back to the main memory. *)
+            send_ctl t hs ~src:hs.home ~dst:ow Hfetch
+        | Owned_by _ | Home ->
+            hs.owner <- Home;
+            reply_read t hs origin;
+            process t hs)
+    | Twrite { origin; value } ->
+        let holders =
+          Hashtbl.fold (fun p () acc -> if p <> origin then p :: acc else acc)
+            hs.home_copies []
+        in
+        if holders = [] then begin
+          commit_write t hs origin value;
+          process t hs
+        end
+        else begin
+          hs.acks <- List.length holders;
+          List.iter (fun p -> send_ctl t hs ~src:hs.home ~dst:p Hinv) holders
+        end
+  end
+
+let on_home_msg t hs body =
+  match body with
+  | Hrreq { origin } ->
+      Queue.add (Tread { origin }) hs.q;
+      process t hs
+  | Hwreq { origin; value } ->
+      Queue.add (Twrite { origin; value }) hs.q;
+      process t hs
+  | Hfdata -> (
+      match hs.cur with
+      | Some (Tread { origin }) ->
+          hs.owner <- Home;
+          reply_read t hs origin;
+          process t hs
+      | _ -> assert false)
+  | Hinvack -> (
+      hs.acks <- hs.acks - 1;
+      if hs.acks = 0 then
+        match hs.cur with
+        | Some (Twrite { origin; value }) ->
+            commit_write t hs origin value;
+            process t hs
+        | _ -> assert false)
+  | Hlock { origin } ->
+      if hs.lock_held then Queue.add origin hs.lq
+      else begin
+        hs.lock_held <- true;
+        send_ctl t hs ~src:hs.home ~dst:origin (Hlgrant { origin })
+      end
+  | Hunlock ->
+      if Queue.is_empty hs.lq then hs.lock_held <- false
+      else begin
+        let nxt = Queue.pop hs.lq in
+        send_ctl t hs ~src:hs.home ~dst:nxt (Hlgrant { origin = nxt })
+      end
+  | Hfetch | Hinv | Hrdata _ | Hgrant _ | Hlgrant _ -> assert false
+
+let on_proc_msg t hs me body =
+  match body with
+  | Hfetch ->
+      (* The home revokes ownership; this processor keeps a (reader) copy. *)
+      send_data t hs ~src:me ~dst:hs.home Hfdata
+  | Hinv ->
+      Hashtbl.remove hs.valid me;
+      send_ctl t hs ~src:me ~dst:hs.home Hinvack
+  | Hrdata { reader; epoch; v } ->
+      assert (reader = me);
+      if epoch = hs.epoch then Hashtbl.replace hs.valid me ();
+      let key = wkey t hs.var.Types.id me in
+      (match Hashtbl.find_opt t.read_waiters key with
+      | Some k ->
+          Hashtbl.remove t.read_waiters key;
+          k v
+      | None -> assert false)
+  | Hgrant { origin } ->
+      assert (origin = me);
+      Hashtbl.replace hs.valid me ();
+      let key = wkey t hs.var.Types.id me in
+      (match Hashtbl.find_opt t.write_waiters key with
+      | Some k ->
+          Hashtbl.remove t.write_waiters key;
+          k ()
+      | None -> assert false)
+  | Hlgrant { origin } ->
+      assert (origin = me);
+      let key = wkey t hs.var.Types.id me in
+      (match Hashtbl.find_opt t.lock_waiters key with
+      | Some k ->
+          Hashtbl.remove t.lock_waiters key;
+          k ()
+      | None -> assert false)
+  | Hrreq _ | Hwreq _ | Hfdata | Hinvack | Hlock _ | Hunlock -> assert false
+
+let handle t (msg : Network.msg) =
+  match msg.Network.m_payload with
+  | Fh { var_id; body } ->
+      let hs =
+        match Hashtbl.find_opt t.vars var_id with
+        | Some s -> s
+        | None -> failwith "Fixed_home.handle: message for unknown variable"
+      in
+      let me = msg.Network.m_dst in
+      (match body with
+      | Hrreq _ | Hwreq _ | Hfdata | Hinvack | Hlock _ | Hunlock ->
+          on_home_msg t hs body
+      | Hfetch | Hinv | Hrdata _ | Hgrant _ | Hlgrant _ ->
+          on_proc_msg t hs me body);
+      true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Public operations                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let cached t p var = Hashtbl.mem (get t var).valid p
+
+let sole_copy t p var =
+  let hs = get t var in
+  (match hs.owner with Owned_by o -> o = p | Home -> false)
+  && (not hs.busy) && Queue.is_empty hs.q
+
+let read t p var ~k =
+  let hs = get t var in
+  Hashtbl.replace t.read_waiters (wkey t var.Types.id p) k;
+  send_ctl t hs ~src:p ~dst:hs.home (Hrreq { origin = p })
+
+let write t p var value ~k =
+  let hs = get t var in
+  Hashtbl.replace t.write_waiters (wkey t var.Types.id p) k;
+  send_ctl t hs ~src:p ~dst:hs.home (Hwreq { origin = p; value })
+
+let lock t p var ~k =
+  let hs = get t var in
+  Hashtbl.replace t.lock_waiters (wkey t var.Types.id p) k;
+  send_ctl t hs ~src:p ~dst:hs.home (Hlock { origin = p })
+
+let unlock t p var =
+  let hs = get t var in
+  send_ctl t hs ~src:p ~dst:hs.home Hunlock
+
+let ncopies t var = Hashtbl.length (get t var).valid
+let copy_holders t var =
+  List.sort compare
+    (Hashtbl.fold (fun p () acc -> p :: acc) (get t var).valid [])
+
+let retire t (var : Types.var) = Hashtbl.remove t.vars var.Types.id

@@ -1,0 +1,44 @@
+(** The fixed home strategy: the standard CC-NUMA-like approach the paper
+    compares against.
+
+    Every global variable is assigned a {e home} processor chosen uniformly
+    at random; the home keeps track of the variable's copies using the
+    classic ownership scheme. At any time either one processor or the home
+    ("main memory") owns the variable. A write by a non-owner asks the
+    home to invalidate all copies and hands ownership to the writer, whose
+    subsequent writes are then local. A read by a processor without a copy
+    goes to the home, which first moves the data back from the owner if
+    ownership is with a processor, then replies (ownership returns to the
+    home). All requests for a variable serialize at its home — the
+    bottleneck the paper measures.
+
+    If every write is preceded by a read of the same object by the same
+    processor — which holds for all three applications — this strategy
+    behaves like a P-ary access tree. Locks are managed by a FIFO queue at
+    the home. *)
+
+type t
+
+val create : Diva_simnet.Network.t -> unit -> t
+
+val home : t -> Types.var -> Types.proc
+(** The variable's randomly chosen home processor. *)
+
+val handle : t -> Diva_simnet.Network.msg -> bool
+
+val cached : t -> Types.proc -> Types.var -> bool
+val sole_copy : t -> Types.proc -> Types.var -> bool
+(** True when the processor owns the variable (local-write fast path). *)
+
+val read : t -> Types.proc -> Types.var -> k:(Value.t -> unit) -> unit
+val write : t -> Types.proc -> Types.var -> Value.t -> k:(unit -> unit) -> unit
+val lock : t -> Types.proc -> Types.var -> k:(unit -> unit) -> unit
+val unlock : t -> Types.proc -> Types.var -> unit
+
+val ncopies : t -> Types.var -> int
+val copy_holders : t -> Types.var -> Types.proc list
+(** Processors currently holding valid copies (tests only). *)
+
+val retire : t -> Types.var -> unit
+(** Drop all protocol state of a variable that will never be accessed
+    again. *)

@@ -1,0 +1,155 @@
+module Deco = Diva_mesh.Decomposition
+module Embedding = Diva_mesh.Embedding
+module Network = Diva_simnet.Network
+
+type body =
+  | Bup of { rid : int; v : Value.t }  (* rid = -1 for plain barriers *)
+  | Bdown of { rid : int; v : Value.t }
+
+type Network.payload += Bar of { tnode : int; body : body }
+
+type reducer_state = {
+  r_combine : Value.t -> Value.t -> Value.t;
+  r_size : int;
+  (* per tree node: running partial value and arrival count *)
+  partial : Value.t option array;
+  r_arrived : int array;
+}
+
+type t = {
+  net : Network.t;
+  deco : Deco.t;
+  emb : Embedding.t;
+  arrived : int array;  (* per tree node, plain barrier *)
+  waiters : (unit -> unit) option array;  (* per processor *)
+  rwaiters : (Value.t -> unit) option array;
+  mutable reducers : reducer_state array;
+}
+
+type 'a reducer = { rid : int; inj : 'a -> Value.t; proj : Value.t -> 'a }
+
+let create net deco ~rng () =
+  let emb = Embedding.regular deco ~rng in
+  let n = deco.Deco.num_tree_nodes in
+  {
+    net;
+    deco;
+    emb;
+    arrived = Array.make n 0;
+    waiters = Array.make (Network.num_nodes net) None;
+    rwaiters = Array.make (Network.num_nodes net) None;
+    reducers = [||];
+  }
+
+let reducer (type a) t ~combine ~size =
+  let inj, proj = Value.embed () in
+  let r_combine a b = inj (combine (proj a : a) (proj b)) in
+  let n = t.deco.Deco.num_tree_nodes in
+  let state =
+    { r_combine; r_size = size; partial = Array.make n None;
+      r_arrived = Array.make n 0 }
+  in
+  t.reducers <- Array.append t.reducers [| state |];
+  { rid = Array.length t.reducers - 1; inj; proj }
+
+let send t ~from ~tnode ~size body =
+  let src = Embedding.place t.emb from and dst = Embedding.place t.emb tnode in
+  Network.send t.net ~src ~dst ~size (Bar { tnode; body })
+
+(* Plain-barrier accounting shares the reducer structure with rid = -1 and
+   a unit value. *)
+let expected_children t tnode = Array.length t.deco.Deco.children.(tnode)
+
+let rec up t tnode rid v =
+  let full, combined =
+    if rid < 0 then begin
+      t.arrived.(tnode) <- t.arrived.(tnode) + 1;
+      (t.arrived.(tnode) >= max 1 (expected_children t tnode), v)
+    end
+    else begin
+      let r = t.reducers.(rid) in
+      let acc =
+        match r.partial.(tnode) with
+        | None -> v
+        | Some p -> r.r_combine p v
+      in
+      r.partial.(tnode) <- Some acc;
+      r.r_arrived.(tnode) <- r.r_arrived.(tnode) + 1;
+      (r.r_arrived.(tnode) >= max 1 (expected_children t tnode), acc)
+    end
+  in
+  if full then begin
+    (* Reset for the next epoch before propagating. *)
+    if rid < 0 then t.arrived.(tnode) <- 0
+    else begin
+      let r = t.reducers.(rid) in
+      r.partial.(tnode) <- None;
+      r.r_arrived.(tnode) <- 0
+    end;
+    let parent = t.deco.Deco.parent.(tnode) in
+    if parent < 0 then down t tnode rid combined
+    else begin
+      let size =
+        if rid < 0 then Types.control_size
+        else Types.control_size + t.reducers.(rid).r_size
+      in
+      send t ~from:tnode ~tnode:parent ~size (Bup { rid; v = combined })
+    end
+  end
+
+and down t tnode rid v =
+  let p = t.deco.Deco.proc.(tnode) in
+  if p >= 0 then begin
+    if rid < 0 then begin
+      match t.waiters.(p) with
+      | Some k ->
+          t.waiters.(p) <- None;
+          k ()
+      | None -> assert false
+    end
+    else begin
+      match t.rwaiters.(p) with
+      | Some k ->
+          t.rwaiters.(p) <- None;
+          k v
+      | None -> assert false
+    end
+  end
+  else
+    Array.iter
+      (fun c ->
+        let size =
+          if rid < 0 then Types.control_size
+          else Types.control_size + t.reducers.(rid).r_size
+        in
+        send t ~from:tnode ~tnode:c ~size (Bdown { rid; v }))
+      t.deco.Deco.children.(tnode)
+
+let handle t (msg : Network.msg) =
+  match msg.Network.m_payload with
+  | Bar { tnode; body } ->
+      (match body with
+      | Bup { rid; v } -> up t tnode rid v
+      | Bdown { rid; v } -> down t tnode rid v);
+      true
+  | _ -> false
+
+let barrier t p ~k =
+  let leaf = t.deco.Deco.leaf_of_proc.(p) in
+  if Network.num_nodes t.net = 1 then k ()
+  else begin
+    t.waiters.(p) <- Some k;
+    let parent = t.deco.Deco.parent.(leaf) in
+    send t ~from:leaf ~tnode:parent ~size:Types.control_size
+      (Bup { rid = -1; v = Value.unit })
+  end
+
+let reduce t (r : 'a reducer) p v ~k =
+  if Network.num_nodes t.net = 1 then k v
+  else begin
+    t.rwaiters.(p) <- Some (fun packed -> k (r.proj packed));
+    let leaf = t.deco.Deco.leaf_of_proc.(p) in
+    let parent = t.deco.Deco.parent.(leaf) in
+    let size = Types.control_size + t.reducers.(r.rid).r_size in
+    send t ~from:leaf ~tnode:parent ~size (Bup { rid = r.rid; v = r.inj v })
+  end

@@ -1,0 +1,31 @@
+(** Barrier synchronization and global reductions, implemented — like the
+    DIVA library's own synchronization routines — with combining trees on a
+    mesh-decomposition tree: arrivals are combined bottom-up, the release
+    (or the combined value) is multicast top-down along tree edges. All
+    traffic is charged to the simulated network. *)
+
+type t
+
+val create :
+  Diva_simnet.Network.t ->
+  Diva_mesh.Decomposition.t ->
+  rng:Diva_util.Prng.t ->
+  unit ->
+  t
+(** The synchronization tree is a single access tree over the given
+    decomposition, embedded with the regular embedding. *)
+
+val handle : t -> Diva_simnet.Network.msg -> bool
+
+val barrier : t -> Types.proc -> k:(unit -> unit) -> unit
+(** Arrive at the barrier; [k] runs when all processors have arrived. *)
+
+type 'a reducer
+
+val reducer : t -> combine:('a -> 'a -> 'a) -> size:int -> 'a reducer
+(** A reusable all-reduce instance over values of one type; [size] is the
+    wire size of one partial value in bytes. *)
+
+val reduce : t -> 'a reducer -> Types.proc -> 'a -> k:('a -> unit) -> unit
+(** Contribute a value; [k] receives the combined value of all processors.
+    Acts as a barrier. *)

@@ -1,0 +1,130 @@
+module Prng = Diva_util.Prng
+
+type tree = { parents : int array; children : int array array }
+
+let tree_of_parents parents =
+  if Array.length parents = 0 || parents.(0) <> -1 then
+    invalid_arg "Tree_model.tree_of_parents: node 0 must be the root";
+  let n = Array.length parents in
+  let kids = Array.make n [] in
+  for v = n - 1 downto 1 do
+    let p = parents.(v) in
+    if p < 0 || p >= n then invalid_arg "Tree_model.tree_of_parents: bad parent";
+    kids.(p) <- v :: kids.(p)
+  done;
+  { parents; children = Array.map Array.of_list kids }
+
+let random_tree rng ~n =
+  if n < 1 then invalid_arg "Tree_model.random_tree";
+  let parents = Array.make n (-1) in
+  for v = 1 to n - 1 do
+    parents.(v) <- Prng.int rng v
+  done;
+  tree_of_parents parents
+
+let num_nodes t = Array.length t.parents
+
+type op = Read of int | Write of int
+
+(* Unique tree path between two nodes, as a list of nodes from [a] to [b]
+   inclusive (via depths and parent pointers). *)
+let path t a b =
+  let depth v =
+    let rec go v d = if v < 0 then d - 1 else go t.parents.(v) (d + 1) in
+    go v 0
+  in
+  let rec lift v k = if k = 0 then v else lift t.parents.(v) (k - 1) in
+  let da = depth a and db = depth b in
+  let a' = if da > db then lift a (da - db) else a in
+  let b' = if db > da then lift b (db - da) else b in
+  let rec meet x y = if x = y then x else meet t.parents.(x) t.parents.(y) in
+  let l = meet a' b' in
+  let rec up v acc = if v = l then List.rev (v :: acc) else up t.parents.(v) (v :: acc) in
+  let left = up a [] in
+  let rec down v acc = if v = l then acc else down t.parents.(v) (v :: acc) in
+  let right = down b [] in
+  left @ right
+
+(* Edges on the path, identified by their child endpoint. *)
+let path_edges t a b =
+  let nodes = path t a b in
+  let rec pairs = function
+    | x :: (y :: _ as rest) ->
+        let edge = if t.parents.(x) = y then x else y in
+        edge :: pairs rest
+    | _ -> []
+  in
+  pairs nodes
+
+let online_edge_costs t ~owner ops =
+  let n = num_nodes t in
+  let cost = Array.make n 0 in
+  let has_copy = Array.make n false in
+  has_copy.(owner) <- true;
+  (* Nearest component node on the tree path from [v] (the component is
+     connected, so walking the path from [v] to any member finds it). *)
+  let nearest v =
+    if has_copy.(v) then v
+    else begin
+      let member = ref (-1) in
+      Array.iteri (fun i c -> if c && !member < 0 then member := i) has_copy;
+      let rec first = function
+        | [] -> assert false
+        | x :: rest -> if has_copy.(x) then x else first rest
+      in
+      first (path t v !member)
+    end
+  in
+  let charge a b = List.iter (fun e -> cost.(e) <- cost.(e) + 1) (path_edges t a b) in
+  List.iter
+    (fun op ->
+      match op with
+      | Read v ->
+          let u = nearest v in
+          if u <> v then begin
+            charge u v;
+            List.iter (fun x -> has_copy.(x) <- true) (path t u v)
+          end
+      | Write v ->
+          let u = nearest v in
+          if u <> v then begin
+            (* The new value travels to u, and the fresh copy travels back. *)
+            charge v u;
+            charge u v
+          end;
+          Array.fill has_copy 0 n false;
+          List.iter (fun x -> has_copy.(x) <- true) (path t u v))
+    ops;
+  cost
+
+let in_subtree t ~edge v =
+  (* The side of [edge]'s child endpoint. *)
+  let rec go x = if x = edge then true else if x < 0 then false else go t.parents.(x) in
+  go v
+
+(* Offline optimum per edge. In this model a crossing costs 1 whenever the
+   contents must reach a side that lacks a copy, invalidations are free,
+   keeping a copy is free and never hurts, and pre-placing a copy costs the
+   same crossing it might save — so the lazy policy that keeps every copy
+   it can is exactly optimal, and the optimum is a simple fold. *)
+let optimal_edge_cost t ~owner ops ~edge =
+  let side v = if in_subtree t ~edge v then 0 else 1 in
+  let has = Array.make 2 false in
+  has.(side owner) <- true;
+  let cost = ref 0 in
+  List.iter
+    (fun op ->
+      match op with
+      | Read v ->
+          let s = side v in
+          if not has.(s) then begin
+            incr cost;
+            has.(s) <- true
+          end
+      | Write v ->
+          let s = side v in
+          if not has.(s) then incr cost;
+          has.(s) <- true;
+          has.(1 - s) <- false)
+    ops;
+  !cost

@@ -1,0 +1,19 @@
+(* Internal shared types of the data-management layer. *)
+
+type proc = int
+
+type var = {
+  id : int;
+  name : string;
+  data_size : int;  (* bytes of the variable's contents *)
+  owner : proc;  (* processor holding the initial (only) copy *)
+  seed : int64;  (* determines the variable's random placements *)
+  mutable value : Value.t;  (* current globally-consistent contents *)
+}
+
+(* Message header accounting: every protocol message carries a few words of
+   type/variable/tree-node identification. Control messages are just the
+   header; data messages add the variable contents. *)
+let control_size = 16
+
+let data_size var = var.data_size + control_size

@@ -1,0 +1,14 @@
+type t = exn
+
+let embed (type a) () =
+  let module M = struct
+    exception E of a
+  end in
+  ( (fun x -> M.E x),
+    function
+    | M.E x -> x
+    | _ -> invalid_arg "Value.project: wrong embedding" )
+
+exception Unit_value
+
+let unit = Unit_value

@@ -1,0 +1,16 @@
+(** Universal container for the contents of global variables.
+
+    The data-management layer moves variable contents around without caring
+    about their type; applications store arbitrary OCaml values through a
+    per-type embedding. The implementation is the classic safe universal
+    type built on local exception constructors — no [Obj] magic. *)
+
+type t
+
+val embed : unit -> ('a -> t) * (t -> 'a)
+(** [embed ()] returns an [(inject, project)] pair for one type. [project]
+    raises [Invalid_argument] when applied to a value injected by a
+    different embedding. *)
+
+val unit : t
+(** A ready-made value for variables used only for locking. *)

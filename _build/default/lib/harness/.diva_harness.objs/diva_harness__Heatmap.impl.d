@@ -1,0 +1,1 @@
+lib/harness/heatmap.ml: Array Buffer Char Diva_mesh Diva_simnet Printf

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Diva_util List Printf Runner

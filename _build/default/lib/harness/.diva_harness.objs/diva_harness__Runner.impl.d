@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Diva_apps Diva_core Diva_simnet Float List

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Diva_apps Diva_core Diva_simnet

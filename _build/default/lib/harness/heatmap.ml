@@ -1,0 +1,40 @@
+module Network = Diva_simnet.Network
+module Link_stats = Diva_simnet.Link_stats
+module Mesh = Diva_mesh.Mesh
+
+let node_traffic net =
+  let mesh = Network.mesh net in
+  let bytes = Link_stats.per_link_bytes (Network.stats net) in
+  let traffic = Array.make (Mesh.num_nodes mesh) 0 in
+  Array.iteri
+    (fun l b ->
+      if b > 0 then begin
+        let src, _ = Mesh.link_endpoints mesh l in
+        traffic.(src) <- traffic.(src) + b
+      end)
+    bytes;
+  traffic
+
+let render net =
+  let mesh = Network.mesh net in
+  let traffic = node_traffic net in
+  let maxv = Array.fold_left max 1 traffic in
+  let digit v =
+    if v = 0 then '.'
+    else Char.chr (Char.code '0' + min 9 (v * 10 / (maxv + 1)))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "outgoing traffic per node (max %d bytes):\n" maxv);
+  if Mesh.num_dims mesh = 2 then
+    for r = 0 to Mesh.rows mesh - 1 do
+      for c = 0 to Mesh.cols mesh - 1 do
+        Buffer.add_char buf (digit traffic.(Mesh.node_at mesh ~row:r ~col:c))
+      done;
+      Buffer.add_char buf '\n'
+    done
+  else
+    Array.iteri
+      (fun v x -> Buffer.add_string buf (Printf.sprintf "node %d: %d\n" v x))
+      traffic;
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** Text rendering of the network's traffic distribution: a quick visual
+    check of where the congestion sits (e.g. the hot row/column crossings
+    of the fixed home strategy vs the spread-out access-tree traffic). *)
+
+val node_traffic : Diva_simnet.Network.t -> int array
+(** Bytes sent over the outgoing links of each node. *)
+
+val render : Diva_simnet.Network.t -> string
+(** For a 2-D mesh: a grid of digits 0-9, each node's outgoing traffic
+    normalised to the maximum ('.' for zero). Other dimensions fall back
+    to a flat listing. *)

@@ -1,0 +1,71 @@
+module Table = Diva_util.Table
+module Stats = Diva_util.Stats
+
+let ratio_table ~title ~param ~congestion ~rows =
+  let strat_names =
+    match rows with (_, _, ss) :: _ -> List.map fst ss | [] -> []
+  in
+  let header =
+    param
+    :: List.concat_map
+         (fun s -> [ s ^ " cong"; s ^ " time" ])
+         strat_names
+    @ [ "last/first time" ]
+  in
+  let table = Table.create ~header in
+  List.iter
+    (fun (label, (base : Runner.measurements), strats) ->
+      let cong (m : Runner.measurements) =
+        match congestion with
+        | `Bytes -> float_of_int m.Runner.congestion_bytes
+        | `Messages -> float_of_int m.Runner.congestion_msgs
+      in
+      let cells =
+        List.concat_map
+          (fun (_, (m : Runner.measurements)) ->
+            [
+              Table.fstr (Stats.ratio (cong m) (cong base));
+              Table.fstr (Stats.ratio m.Runner.time base.Runner.time);
+            ])
+          strats
+      in
+      (* Quotient of the last strategy's time to the first's (the paper
+         prints "access tree time as a percentage of fixed home time"). *)
+      let quot =
+        match strats with
+        | (_, fh) :: _ ->
+            let at = snd (List.nth strats (List.length strats - 1)) in
+            Printf.sprintf "%.0f%%"
+              (Stats.percent at.Runner.time fh.Runner.time)
+        | [] -> "-"
+      in
+      Table.add_row table ((label :: cells) @ [ quot ]))
+    rows;
+  Printf.sprintf "%s\n%s" title (Table.render table)
+
+let absolute_table ~title ~param ?(extra = []) ~rows () =
+  let strat_names = match rows with (_, ss) :: _ -> List.map fst ss | [] -> [] in
+  let header =
+    param
+    :: List.concat_map
+         (fun s ->
+           [ s ^ " cong(msg)"; s ^ " time(s)" ]
+           @ List.map (fun (en, _) -> s ^ " " ^ en) extra)
+         strat_names
+  in
+  let table = Table.create ~header in
+  List.iter
+    (fun (label, strats) ->
+      let cells =
+        List.concat_map
+          (fun (_, (m : Runner.measurements)) ->
+            [
+              string_of_int m.Runner.congestion_msgs;
+              Table.fstr (m.Runner.time /. 1e6);
+            ]
+            @ List.map (fun (_, f) -> f m) extra)
+          strats
+      in
+      Table.add_row table (label :: cells))
+    rows;
+  Printf.sprintf "%s\n%s" title (Table.render table)

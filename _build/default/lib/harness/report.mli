@@ -1,0 +1,26 @@
+(** Formatting of experiment results in the shape the paper reports them:
+    congestion and time of each dynamic strategy as a {e ratio} to the
+    hand-optimized baseline, plus the access-tree : fixed-home quotient
+    ("the access tree strategy is about a factor of 2 faster"). *)
+
+val ratio_table :
+  title:string ->
+  param:string ->
+  congestion:[ `Bytes | `Messages ] ->
+  rows:
+    (string * Runner.measurements * (string * Runner.measurements) list) list ->
+  string
+(** [ratio_table ~title ~param ~congestion ~rows] renders one figure-style
+    table. Each row is (parameter value, baseline measurements, strategy
+    measurements); columns show each strategy's congestion ratio and time
+    ratio versus the baseline. *)
+
+val absolute_table :
+  title:string ->
+  param:string ->
+  ?extra:(string * (Runner.measurements -> string)) list ->
+  rows:(string * (string * Runner.measurements) list) list ->
+  unit ->
+  string
+(** Absolute congestion (in messages) and time (in seconds) per strategy —
+    the format of the Barnes-Hut figures, which have no baseline. *)

@@ -1,0 +1,156 @@
+module Network = Diva_simnet.Network
+module Link_stats = Diva_simnet.Link_stats
+module Dsm = Diva_core.Dsm
+module Matmul = Diva_apps.Matmul
+module Matmul_handopt = Diva_apps.Matmul_handopt
+module Bitonic = Diva_apps.Bitonic
+module Bitonic_handopt = Diva_apps.Bitonic_handopt
+module Barnes_hut = Diva_apps.Barnes_hut
+
+type measurements = {
+  time : float;
+  congestion_msgs : int;
+  congestion_bytes : int;
+  total_msgs : int;
+  total_bytes : int;
+  startups : int;
+  max_compute : float;
+  dsm_reads : int;
+  dsm_read_hits : int;
+  evictions : int;
+}
+
+type strategy_choice = Strategy of Dsm.strategy | Hand_optimized
+
+let name = function
+  | Hand_optimized -> "hand-optimized"
+  | Strategy s -> Dsm.strategy_name s
+
+let spawn_all net f =
+  for p = 0 to Network.num_nodes net - 1 do
+    Network.spawn net p (fun () -> f p)
+  done
+
+let collect net dsm =
+  let st = Network.stats net in
+  {
+    time = Network.now net;
+    congestion_msgs = Link_stats.congestion_msgs st;
+    congestion_bytes = Link_stats.congestion_bytes st;
+    total_msgs = Link_stats.total_msgs st;
+    total_bytes = Link_stats.total_bytes st;
+    startups = Network.startups net;
+    max_compute = Network.max_compute_time net;
+    dsm_reads = (match dsm with Some d -> Dsm.reads d | None -> 0);
+    dsm_read_hits = (match dsm with Some d -> Dsm.read_hits d | None -> 0);
+    evictions = (match dsm with Some d -> Dsm.evictions d | None -> 0);
+  }
+
+let finish ?on_net net =
+  Network.run net;
+  match on_net with Some f -> f net | None -> ()
+
+let run_matmul ?(seed = 17) ?on_net ~rows ~cols ~block ?(compute = false) choice =
+  let net = Network.create ~seed ~rows ~cols () in
+  match choice with
+  | Hand_optimized ->
+      let app = Matmul_handopt.setup net { Matmul_handopt.block; compute } in
+      spawn_all net (fun p -> Matmul_handopt.fiber app p);
+      finish ?on_net net;
+      collect net None
+  | Strategy strategy ->
+      let dsm = Dsm.create net ~strategy () in
+      let app = Matmul.setup dsm { Matmul.block; compute } in
+      spawn_all net (fun p -> Matmul.fiber app p);
+      finish ?on_net net;
+      collect net (Some dsm)
+
+let run_bitonic ?(seed = 17) ?on_net ~rows ~cols ~keys ?(compute = true) choice =
+  let net = Network.create ~seed ~rows ~cols () in
+  match choice with
+  | Hand_optimized ->
+      let app = Bitonic_handopt.setup net { Bitonic_handopt.keys; compute } in
+      spawn_all net (fun p -> Bitonic_handopt.fiber app p);
+      finish ?on_net net;
+      collect net None
+  | Strategy strategy ->
+      let dsm = Dsm.create net ~strategy () in
+      let app = Bitonic.setup dsm { Bitonic.keys; compute } in
+      spawn_all net (fun p -> Bitonic.fiber app p);
+      finish ?on_net net;
+      collect net (Some dsm)
+
+type bh_result = {
+  bh_total : measurements;
+  bh_phase : Barnes_hut.phase -> measurements;
+}
+
+let aggregate_intervals dsm startups ivs =
+  match ivs with
+  | [] ->
+      {
+        time = 0.0; congestion_msgs = 0; congestion_bytes = 0; total_msgs = 0;
+        total_bytes = 0; startups; max_compute = 0.0;
+        dsm_reads = Dsm.reads dsm; dsm_read_hits = Dsm.read_hits dsm;
+        evictions = Dsm.evictions dsm;
+      }
+  | first :: _ ->
+      let time = ref 0.0 in
+      let traffic = ref (Link_stats.zero first.Barnes_hut.i_traffic) in
+      let compute = Array.make (Array.length first.Barnes_hut.i_compute) 0.0 in
+      List.iter
+        (fun iv ->
+          time := !time +. iv.Barnes_hut.i_time;
+          traffic := Link_stats.add !traffic iv.Barnes_hut.i_traffic;
+          Array.iteri
+            (fun i v -> compute.(i) <- compute.(i) +. v)
+            iv.Barnes_hut.i_compute)
+        ivs;
+      {
+        time = !time;
+        congestion_msgs = Link_stats.snap_congestion_msgs !traffic;
+        congestion_bytes = Link_stats.snap_congestion_bytes !traffic;
+        total_msgs = Link_stats.snap_total_msgs !traffic;
+        total_bytes = Link_stats.snap_total_bytes !traffic;
+        startups;
+        max_compute = Array.fold_left Float.max 0.0 compute;
+        dsm_reads = Dsm.reads dsm;
+        dsm_read_hits = Dsm.read_hits dsm;
+        evictions = Dsm.evictions dsm;
+      }
+
+let run_barnes_hut_on ?on_net net ~cfg strategy =
+  let dsm = Dsm.create net ~strategy () in
+  let app = Barnes_hut.setup dsm cfg in
+  spawn_all net (fun p -> Barnes_hut.fiber app p);
+  finish ?on_net net;
+  let ivs = Barnes_hut.intervals app in
+  let startups = Network.startups net in
+  {
+    bh_total = aggregate_intervals dsm startups ivs;
+    bh_phase =
+      (fun ph ->
+        aggregate_intervals dsm startups
+          (List.filter (fun iv -> iv.Barnes_hut.i_phase = ph) ivs));
+  }
+
+let run_barnes_hut ?(seed = 17) ?on_net ~rows ~cols ~cfg strategy =
+  run_barnes_hut_on ?on_net (Network.create ~seed ~rows ~cols ()) ~cfg strategy
+
+let run_barnes_hut_nd ?(seed = 17) ?on_net ~dims ~cfg strategy =
+  run_barnes_hut_on ?on_net (Network.create_nd ~seed ~dims ()) ~cfg strategy
+
+let run_bitonic_nd ?(seed = 17) ?on_net ~dims ~keys ?(compute = true) choice =
+  let net = Network.create_nd ~seed ~dims () in
+  match choice with
+  | Hand_optimized ->
+      let app = Bitonic_handopt.setup net { Bitonic_handopt.keys; compute } in
+      spawn_all net (fun p -> Bitonic_handopt.fiber app p);
+      finish ?on_net net;
+      collect net None
+  | Strategy strategy ->
+      let dsm = Dsm.create net ~strategy () in
+      let app = Bitonic.setup dsm { Bitonic.keys; compute } in
+      spawn_all net (fun p -> Bitonic.fiber app p);
+      finish ?on_net net;
+      collect net (Some dsm)

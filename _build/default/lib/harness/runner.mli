@@ -1,0 +1,63 @@
+(** Runs one application under one data-management strategy on one mesh and
+    collects the measurements the paper reports: congestion (messages and
+    bytes), execution/communication time, total communication load, startup
+    counts and computation times. *)
+
+type measurements = {
+  time : float;  (** end-to-end simulated time, microseconds *)
+  congestion_msgs : int;
+  congestion_bytes : int;
+  total_msgs : int;
+  total_bytes : int;
+  startups : int;
+  max_compute : float;
+  dsm_reads : int;
+  dsm_read_hits : int;
+  evictions : int;
+}
+
+type strategy_choice =
+  | Strategy of Diva_core.Dsm.strategy
+  | Hand_optimized
+
+val name : strategy_choice -> string
+
+val run_matmul :
+  ?seed:int -> ?on_net:(Diva_simnet.Network.t -> unit) -> rows:int ->
+  cols:int -> block:int -> ?compute:bool -> strategy_choice -> measurements
+(** The paper measures matmul {e communication} time: [compute] defaults to
+    false so that only read, write and synchronization calls remain. *)
+
+val run_bitonic :
+  ?seed:int -> ?on_net:(Diva_simnet.Network.t -> unit) -> rows:int ->
+  cols:int -> keys:int -> ?compute:bool -> strategy_choice -> measurements
+(** Bitonic is measured with its (small) computation included. *)
+
+(** Aggregated Barnes-Hut measurements over the measured steps, total or
+    restricted to one phase. *)
+type bh_result = {
+  bh_total : measurements;
+  bh_phase : Diva_apps.Barnes_hut.phase -> measurements;
+}
+
+val run_barnes_hut :
+  ?seed:int -> ?on_net:(Diva_simnet.Network.t -> unit) -> rows:int ->
+  cols:int -> cfg:Diva_apps.Barnes_hut.config -> Diva_core.Dsm.strategy ->
+  bh_result
+(** There is no hand-optimized baseline for Barnes-Hut (the paper cannot
+    construct one either). Times and congestion cover the measured
+    (non-warmup) steps only, as in the paper. *)
+
+val run_barnes_hut_nd :
+  ?seed:int -> ?on_net:(Diva_simnet.Network.t -> unit) -> dims:int array ->
+  cfg:Diva_apps.Barnes_hut.config -> Diva_core.Dsm.strategy -> bh_result
+(** Barnes-Hut on a mesh of arbitrary dimension — an extension beyond the
+    paper exercising the theory's d-dimensional setting. *)
+
+val run_bitonic_nd :
+  ?seed:int -> ?on_net:(Diva_simnet.Network.t -> unit) -> dims:int array ->
+  keys:int -> ?compute:bool -> strategy_choice -> measurements
+
+(** The [on_net] callback of each runner fires after the simulation
+    completes, with the network still available — used e.g. for the
+    {!Heatmap} rendering in the CLI. *)

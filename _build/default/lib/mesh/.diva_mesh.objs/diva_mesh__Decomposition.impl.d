@@ -1,0 +1,1 @@
+lib/mesh/decomposition.ml: Array List Mesh Printf

@@ -1,0 +1,1 @@
+lib/mesh/decomposition.mli: Mesh

@@ -1,0 +1,1 @@
+lib/mesh/embedding.ml: Array Decomposition Diva_util Mesh

@@ -1,0 +1,1 @@
+lib/mesh/embedding.mli: Decomposition Diva_util Mesh

@@ -1,0 +1,1 @@
+lib/mesh/mesh.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/mesh/mesh.mli:

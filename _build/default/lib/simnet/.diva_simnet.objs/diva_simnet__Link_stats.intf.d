@@ -1,0 +1,1 @@
+lib/simnet/link_stats.mli:

@@ -1,0 +1,1 @@
+lib/simnet/network.ml: Array Diva_mesh Diva_util Effect Float Link_stats List Machine Option Printf Sim

@@ -1,0 +1,1 @@
+lib/simnet/network.mli: Diva_mesh Diva_util Link_stats Machine Sim

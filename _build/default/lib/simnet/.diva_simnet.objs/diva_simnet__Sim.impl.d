@@ -1,0 +1,1 @@
+lib/simnet/sim.ml: Diva_util Float Printf

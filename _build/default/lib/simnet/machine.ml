@@ -1,0 +1,25 @@
+type t = {
+  link_bandwidth : float;
+  hop_latency : float;
+  send_overhead : float;
+  recv_overhead : float;
+  local_overhead : float;
+  int_op_time : float;
+  flop_time : float;
+}
+
+(* 1 Mbyte/s = 1 byte/us links; 0.29 integer additions/us = 3.45 us/add;
+   the ~1 Kbyte threshold for full bandwidth motivates ~1 ms of per-message
+   software overhead, split between sender and receiver. *)
+let gcel =
+  {
+    link_bandwidth = 1.0;
+    hop_latency = 5.0;
+    send_overhead = 500.0;
+    recv_overhead = 500.0;
+    local_overhead = 150.0;
+    int_op_time = 3.45;
+    flop_time = 3.45;
+  }
+
+let transfer_time t size = float_of_int size /. t.link_bandwidth

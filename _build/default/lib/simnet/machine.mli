@@ -1,0 +1,26 @@
+(** Cost model of the simulated machine. All times are in microseconds, all
+    sizes in bytes.
+
+    The default, {!gcel}, is calibrated to the Parsytec GCel figures the
+    paper reports: about 1 Mbyte/s per link direction (1 byte/us), a
+    processor speed of about 0.29 integer additions per microsecond, hence a
+    link/processor speed ratio of about 0.86 for 4-byte words, and a
+    per-message software overhead large enough that messages of about
+    1 Kbyte are needed to reach full link bandwidth. *)
+
+type t = {
+  link_bandwidth : float;  (** bytes per microsecond, per link direction *)
+  hop_latency : float;  (** header latency per hop (wormhole pipeline) *)
+  send_overhead : float;  (** sender CPU time per message startup *)
+  recv_overhead : float;  (** receiver CPU time per message *)
+  local_overhead : float;
+      (** cost of a protocol hop between two access-tree nodes that are
+          simulated by the same processor (no network message involved) *)
+  int_op_time : float;  (** time of one integer operation *)
+  flop_time : float;  (** time of one floating-point operation *)
+}
+
+val gcel : t
+
+val transfer_time : t -> int -> float
+(** Pure occupancy of one link by a message of the given size. *)

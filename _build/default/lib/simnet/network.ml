@@ -1,0 +1,195 @@
+module Prng = Diva_util.Prng
+module Mesh = Diva_mesh.Mesh
+
+type payload = ..
+type payload += Empty
+
+type msg = { m_src : Mesh.node; m_dst : Mesh.node; m_size : int; m_payload : payload }
+
+type waiter = { w_filter : msg -> bool; w_resume : msg -> unit }
+
+type mailbox = { mutable inbox : msg list (* oldest first *); mutable waiters : waiter list }
+
+type t = {
+  sim : Sim.t;
+  mesh : Mesh.t;
+  machine : Machine.t;
+  root_rng : Prng.t;
+  link_free : float array;
+  stats : Link_stats.t;
+  cpu_free : float array;
+  pending_compute : float array;
+  node_compute : float array;
+  handlers : (t -> msg -> unit) array;
+  mailboxes : mailbox array;
+  node_startup_count : int array;
+  mutable startup_count : int;
+  mutable fibers : int;
+}
+
+let default_handler t msg =
+  let mb = t.mailboxes.(msg.m_dst) in
+  let rec try_waiters acc = function
+    | [] ->
+        mb.waiters <- List.rev acc;
+        mb.inbox <- mb.inbox @ [ msg ]
+    | w :: rest ->
+        if w.w_filter msg then begin
+          mb.waiters <- List.rev_append acc rest;
+          w.w_resume msg
+        end
+        else try_waiters (w :: acc) rest
+  in
+  try_waiters [] mb.waiters
+
+let create_nd ?(machine = Machine.gcel) ?(seed = 42) ~dims () =
+  let mesh = Mesh.create_nd ~dims in
+  let n = Mesh.num_nodes mesh in
+  let nl = Mesh.num_links mesh in
+  {
+    sim = Sim.create ();
+    mesh;
+    machine;
+    root_rng = Prng.create ~seed;
+    link_free = Array.make nl 0.0;
+    stats = Link_stats.create ~num_links:nl;
+    cpu_free = Array.make n 0.0;
+    pending_compute = Array.make n 0.0;
+    node_compute = Array.make n 0.0;
+    handlers = Array.make n default_handler;
+    mailboxes = Array.init n (fun _ -> { inbox = []; waiters = [] });
+    node_startup_count = Array.make n 0;
+    startup_count = 0;
+    fibers = 0;
+  }
+
+let create ?machine ?seed ~rows ~cols () =
+  create_nd ?machine ?seed ~dims:[| rows; cols |] ()
+
+let mesh t = t.mesh
+let sim t = t.sim
+let machine t = t.machine
+let rng t = t.root_rng
+let now t = Sim.now t.sim
+let num_nodes t = Mesh.num_nodes t.mesh
+let set_handler t node h = t.handlers.(node) <- h
+let stats t = t.stats
+let startups t = t.startup_count
+let node_startups t node = t.node_startup_count.(node)
+let compute_time t node = t.node_compute.(node)
+let max_compute_time t = Array.fold_left Float.max 0.0 t.node_compute
+let total_compute_time t = Array.fold_left ( +. ) 0.0 t.node_compute
+let compute_times t = Array.copy t.node_compute
+let live_fibers t = t.fibers
+
+(* Reserve the node's CPU for [dt] starting no earlier than [from]; returns
+   the completion time. Pending charged computation is folded in first. *)
+let reserve_cpu t node ~from dt =
+  let pending = t.pending_compute.(node) in
+  t.pending_compute.(node) <- 0.0;
+  let start = Float.max from t.cpu_free.(node) in
+  let fin = start +. pending +. dt in
+  t.cpu_free.(node) <- fin;
+  fin
+
+let deliver t msg at =
+  (* Receive overhead on the destination CPU, then the handler runs. *)
+  let handle_at = reserve_cpu t msg.m_dst ~from:at t.machine.Machine.recv_overhead in
+  Sim.schedule t.sim handle_at (fun () -> t.handlers.(msg.m_dst) t msg)
+
+let send t ~src ~dst ~size payload =
+  let msg = { m_src = src; m_dst = dst; m_size = size; m_payload = payload } in
+  if src = dst then begin
+    (* Node-local protocol hop: no startup, no network traffic. *)
+    let at = reserve_cpu t src ~from:(now t) t.machine.Machine.local_overhead in
+    Sim.schedule t.sim at (fun () -> t.handlers.(dst) t msg)
+  end
+  else begin
+    t.startup_count <- t.startup_count + 1;
+    t.node_startup_count.(src) <- t.node_startup_count.(src) + 1;
+    let inject_at = reserve_cpu t src ~from:(now t) t.machine.Machine.send_overhead in
+    let occupancy = Machine.transfer_time t.machine size in
+    (* Eager wormhole approximation: the header advances hop by hop, each
+       link is occupied for the full transfer time, the tail leaves the last
+       link [occupancy] after the header entered it. *)
+    let arrival = ref inject_at in
+    let last_start = ref inject_at in
+    Mesh.iter_route t.mesh ~src ~dst (fun link ->
+        let start = Float.max !arrival t.link_free.(link) in
+        t.link_free.(link) <- start +. occupancy;
+        Link_stats.record t.stats ~link ~bytes:size;
+        last_start := start;
+        arrival := start +. t.machine.Machine.hop_latency);
+    let delivered_at = !last_start +. occupancy in
+    deliver t msg delivered_at
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fibers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+let suspend register = Effect.perform (Suspend register)
+
+let spawn t node f =
+  t.fibers <- t.fibers + 1;
+  let open Effect.Deep in
+  let body () =
+    match_with f ()
+      {
+        retc = (fun () -> t.fibers <- t.fibers - 1);
+        exnc = raise;
+        effc =
+          (fun (type b) (eff : b Effect.t) ->
+            match eff with
+            | Suspend register ->
+                Some
+                  (fun (k : (b, _) continuation) ->
+                    register (fun v -> continue k v))
+            | _ -> None);
+      }
+  in
+  ignore node;
+  Sim.schedule_now t.sim body
+
+let compute t node dt =
+  if dt < 0.0 then invalid_arg "Network.compute: negative time";
+  t.node_compute.(node) <- t.node_compute.(node) +. dt;
+  let fin = reserve_cpu t node ~from:(now t) dt in
+  suspend (fun resume -> Sim.schedule t.sim fin (fun () -> resume ()))
+
+let charge t node dt =
+  if dt < 0.0 then invalid_arg "Network.charge: negative time";
+  t.node_compute.(node) <- t.node_compute.(node) +. dt;
+  t.pending_compute.(node) <- t.pending_compute.(node) +. dt
+
+let flush_charge t node =
+  if t.pending_compute.(node) > 0.0 then compute t node 0.0
+
+let recv t node ?(where = fun _ -> true) () =
+  let mb = t.mailboxes.(node) in
+  let rec remove_first = function
+    | [] -> None
+    | m :: rest ->
+        if where m then Some (m, rest)
+        else
+          Option.map (fun (found, rest') -> (found, m :: rest')) (remove_first rest)
+  in
+  match remove_first mb.inbox with
+  | Some (m, rest) ->
+      mb.inbox <- rest;
+      m
+  | None ->
+      suspend (fun resume ->
+          mb.waiters <- mb.waiters @ [ { w_filter = where; w_resume = resume } ])
+
+let mailbox_deliver t msg = default_handler t msg
+
+let run t =
+  Sim.run t.sim;
+  if t.fibers > 0 then
+    failwith
+      (Printf.sprintf
+         "Network.run: deadlock — %d fiber(s) still blocked at t = %.1f us"
+         t.fibers (now t))

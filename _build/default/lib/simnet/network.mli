@@ -1,0 +1,101 @@
+(** Simulated mesh network with per-node CPUs and cooperative fibers.
+
+    Every simulated processor has (a) a CPU whose time is consumed by
+    message startups, receive overheads and application computation, and
+    (b) at most one application {e fiber} — a cooperative thread written in
+    direct style using OCaml effects, which can block on network events —
+    plus event-driven message handlers used by protocol layers.
+
+    Message timing follows an eager wormhole approximation: a message
+    occupies every directed link of its dimension-order route for
+    [size / bandwidth], pipelined hop to hop with [hop_latency] for the
+    header, and queues when a link is busy. A message between access-tree
+    nodes simulated by the same processor never enters the network (it
+    costs only [local_overhead] CPU time and is not counted as a startup
+    or as congestion). *)
+
+type payload = ..
+(** Protocol layers and applications extend this with their message types. *)
+
+type payload += Empty
+
+type msg = { m_src : Diva_mesh.Mesh.node; m_dst : Diva_mesh.Mesh.node; m_size : int; m_payload : payload }
+
+type t
+
+val create :
+  ?machine:Machine.t -> ?seed:int -> rows:int -> cols:int -> unit -> t
+
+val create_nd : ?machine:Machine.t -> ?seed:int -> dims:int array -> unit -> t
+(** A mesh of arbitrary dimension (the theory paper's general setting). *)
+
+val mesh : t -> Diva_mesh.Mesh.t
+val sim : t -> Sim.t
+val machine : t -> Machine.t
+val rng : t -> Diva_util.Prng.t
+(** Root PRNG of the run; layers derive sub-streams with [Prng.split]. *)
+
+val now : t -> float
+val num_nodes : t -> int
+
+(** {2 Messaging} *)
+
+val send : t -> src:Diva_mesh.Mesh.node -> dst:Diva_mesh.Mesh.node -> size:int -> payload -> unit
+(** Asynchronous send; charges the sender's CPU with the startup overhead,
+    routes the message, charges the receiver's overhead, then invokes the
+    destination handler. Callable from fibers and handlers alike. *)
+
+val set_handler : t -> Diva_mesh.Mesh.node -> (t -> msg -> unit) -> unit
+(** Replace the node's message handler. The default handler enqueues into
+    the node's mailbox (see {!recv}). *)
+
+val recv : t -> Diva_mesh.Mesh.node -> ?where:(msg -> bool) -> unit -> msg
+(** Blocking receive from the node's mailbox (fiber context only; requires
+    the default handler). Returns the oldest matching message. *)
+
+val mailbox_deliver : t -> msg -> unit
+(** The default handler: enqueue into the destination's mailbox. Custom
+    handlers call this for payloads they do not recognise. *)
+
+(** {2 Fibers} *)
+
+val spawn : t -> Diva_mesh.Mesh.node -> (unit -> unit) -> unit
+(** Start the node's application fiber at the current simulation time. *)
+
+val suspend : ((('a -> unit)) -> unit) -> 'a
+(** [suspend register] blocks the current fiber; [register resume] is called
+    immediately and must arrange for [resume v] to be called exactly once,
+    from an event callback, which continues the fiber with [v]. *)
+
+val compute : t -> Diva_mesh.Mesh.node -> float -> unit
+(** Occupy the node's CPU for the given time (blocks the fiber). *)
+
+val charge : t -> Diva_mesh.Mesh.node -> float -> unit
+(** Accumulate local computation without a scheduler round-trip; the pending
+    amount is folded into the next {!flush_charge} / {!compute}. Used for
+    cache-hit accesses, which are far too frequent for one event each. *)
+
+val flush_charge : t -> Diva_mesh.Mesh.node -> unit
+(** Block the fiber until all pending charged computation has elapsed. *)
+
+val live_fibers : t -> int
+
+val run : t -> unit
+(** Run the simulation to completion. Raises [Failure] if fibers are still
+    blocked when the event queue drains (deadlock). *)
+
+(** {2 Statistics} *)
+
+val stats : t -> Link_stats.t
+val startups : t -> int
+(** Total number of message startups (local messages excluded). *)
+
+val node_startups : t -> Diva_mesh.Mesh.node -> int
+val compute_time : t -> Diva_mesh.Mesh.node -> float
+(** Total application computation time charged to the node so far. *)
+
+val max_compute_time : t -> float
+val total_compute_time : t -> float
+
+val compute_times : t -> float array
+(** Copy of all per-node computation times (phase snapshots). *)

@@ -1,0 +1,31 @@
+module Heap = Diva_util.Pairing_heap
+
+type t = {
+  queue : (unit -> unit) Heap.t;
+  mutable clock : float;
+  mutable executed : int;
+}
+
+let create () = { queue = Heap.create (); clock = 0.0; executed = 0 }
+let now t = t.clock
+
+let schedule t at f =
+  if at < t.clock -. 1e-9 then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule: %.3f is in the past (now = %.3f)" at t.clock);
+  Heap.insert t.queue (Float.max at t.clock) f
+
+let schedule_now t f = Heap.insert t.queue t.clock f
+
+let run t =
+  let continue = ref true in
+  while !continue do
+    match Heap.pop_min t.queue with
+    | None -> continue := false
+    | Some (at, f) ->
+        t.clock <- at;
+        t.executed <- t.executed + 1;
+        f ()
+  done
+
+let events_executed t = t.executed

@@ -1,0 +1,21 @@
+(** Discrete-event simulation core: a virtual clock (in microseconds) and an
+    event queue. Events scheduled for the same instant execute in FIFO
+    order, so runs are deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time in microseconds. *)
+
+val schedule : t -> float -> (unit -> unit) -> unit
+(** [schedule t at f] runs [f] at simulated time [at]. [at] must not be in
+    the past. *)
+
+val schedule_now : t -> (unit -> unit) -> unit
+
+val run : t -> unit
+(** Execute events until the queue is empty. *)
+
+val events_executed : t -> int

@@ -1,0 +1,16 @@
+let sumf a = Array.fold_left ( +. ) 0.0 a
+
+let mean a = if Array.length a = 0 then 0.0 else sumf a /. float_of_int (Array.length a)
+
+let maxf a = Array.fold_left Float.max neg_infinity a
+
+let percent num den = if den = 0.0 then 0.0 else 100.0 *. num /. den
+let ratio num den = if den = 0.0 then 0.0 else num /. den
+let log2 x = Float.log x /. Float.log 2.0
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let ilog2 n =
+  if n < 1 then invalid_arg "Stats.ilog2";
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n

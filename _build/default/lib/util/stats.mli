@@ -1,0 +1,18 @@
+(** Small numeric helpers shared by the harness and the tests. *)
+
+val mean : float array -> float
+val maxf : float array -> float
+val sumf : float array -> float
+
+val percent : float -> float -> float
+(** [percent num den] is [100 * num / den] (0 if [den] = 0). *)
+
+val ratio : float -> float -> float
+(** [ratio num den] is [num / den] (0 if [den] = 0). *)
+
+val log2 : float -> float
+
+val is_power_of_two : int -> bool
+
+val ilog2 : int -> int
+(** [ilog2 n] for n >= 1 is the floor of log2 n. *)

@@ -1,0 +1,37 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> width.(i) <- max width.(i) (String.length cell)) row)
+    all;
+  let buf = Buffer.create 256 in
+  let put row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        if i < List.length row - 1 then
+          Buffer.add_string buf (String.make (width.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  put t.header;
+  let total = Array.fold_left ( + ) 0 width + (2 * (ncols - 1)) in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter put rows;
+  Buffer.contents buf
+
+let fstr v =
+  let av = Float.abs v in
+  if av < 100.0 then Printf.sprintf "%.2f" v
+  else if av < 10000.0 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.0f" v

@@ -1,0 +1,13 @@
+(** Minimal aligned text tables for the benchmark harness output. *)
+
+type t
+
+val create : header:string list -> t
+val add_row : t -> string list -> unit
+val render : t -> string
+(** Render with columns padded to their widest cell, separated by two
+    spaces, with a rule under the header. *)
+
+val fstr : float -> string
+(** Compact float formatting used throughout the reports: 2 decimals under
+    100, 1 decimal under 10000, otherwise no decimals. *)

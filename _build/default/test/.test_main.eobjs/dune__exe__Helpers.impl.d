@@ -1,0 +1,1 @@
+test/helpers.ml: Diva_core Diva_mesh Diva_simnet

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Diva_apps Diva_core Diva_simnet Float Helpers List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dsm.ml: Alcotest Array Diva_core Diva_mesh Diva_simnet Diva_util Helpers List Printf

@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Array Diva_core Diva_mesh Diva_simnet Helpers Printf

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Diva_apps Diva_core Diva_harness Diva_simnet Helpers List String

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Array Diva_core Diva_simnet Diva_util Helpers List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mesh.ml: Alcotest Array Diva_mesh Diva_util Fun Hashtbl Int64 List

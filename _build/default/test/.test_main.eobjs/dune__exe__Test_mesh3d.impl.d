@@ -1,0 +1,1 @@
+test/test_mesh3d.ml: Alcotest Array Diva_apps Diva_core Diva_mesh Diva_simnet Diva_util Float Fun List Printf

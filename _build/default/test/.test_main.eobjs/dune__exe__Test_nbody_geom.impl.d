@@ -1,0 +1,1 @@
+test/test_nbody_geom.ml: Alcotest Array Diva_apps Diva_util Float List Printf QCheck QCheck_alcotest

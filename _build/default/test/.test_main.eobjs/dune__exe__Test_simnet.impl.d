@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Diva_mesh Diva_simnet List

@@ -1,0 +1,1 @@
+test/test_strategies.ml: Alcotest Array Diva_apps Diva_core Diva_simnet Hashtbl Helpers List Printf

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Diva_core Diva_simnet Diva_util Fun List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,110 @@
+(* Tests for the experiment harness: runner measurements, report tables,
+   heatmap rendering. *)
+
+module Network = Diva_simnet.Network
+module Link_stats = Diva_simnet.Link_stats
+module Dsm = Diva_core.Dsm
+module Runner = Diva_harness.Runner
+module Report = Diva_harness.Report
+module Heatmap = Diva_harness.Heatmap
+module Barnes_hut = Diva_apps.Barnes_hut
+open Helpers
+
+let contains s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_runner_matmul_measurements () =
+  let m =
+    Runner.run_matmul ~rows:4 ~cols:4 ~block:64
+      (Runner.Strategy (Dsm.access_tree ~arity:4 ()))
+  in
+  Alcotest.(check bool) "time positive" true (m.Runner.time > 0.0);
+  Alcotest.(check bool) "congestion <= total" true
+    (m.Runner.congestion_bytes <= m.Runner.total_bytes);
+  Alcotest.(check bool) "has startups" true (m.Runner.startups > 0);
+  Alcotest.(check int) "reads = P * sqrtP * 2" (16 * 4 * 2) m.Runner.dsm_reads
+
+let test_runner_deterministic () =
+  let run () =
+    Runner.run_bitonic ~rows:4 ~cols:4 ~keys:32
+      (Runner.Strategy (Dsm.access_tree ~arity:2 ()))
+  in
+  Alcotest.(check bool) "identical measurements" true (run () = run ())
+
+let test_runner_bh_phase_sums () =
+  let cfg =
+    { (Barnes_hut.default_config ~nbodies:64) with Barnes_hut.steps = 3; warmup = 1 }
+  in
+  let r =
+    Runner.run_barnes_hut ~rows:2 ~cols:2 ~cfg (Dsm.access_tree ~arity:2 ())
+  in
+  (* Phase times sum to the total; phase traffic sums to the total. *)
+  let phases =
+    [ Barnes_hut.Build; Barnes_hut.Com; Barnes_hut.Partition; Barnes_hut.Force;
+      Barnes_hut.Advance; Barnes_hut.Space ]
+  in
+  let tsum =
+    List.fold_left (fun acc ph -> acc +. (r.Runner.bh_phase ph).Runner.time) 0.0 phases
+  in
+  Alcotest.(check (float 1e-6)) "phase times sum" r.Runner.bh_total.Runner.time tsum;
+  let msum =
+    List.fold_left
+      (fun acc ph -> acc + (r.Runner.bh_phase ph).Runner.total_msgs)
+      0 phases
+  in
+  Alcotest.(check int) "phase traffic sums" r.Runner.bh_total.Runner.total_msgs msum
+
+let test_heatmap_accounts_all_traffic () =
+  let net, dsm = make_dsm ~rows:4 ~cols:4 (Dsm.access_tree ~arity:4 ()) in
+  let v = Dsm.create_var dsm ~owner:0 ~size:256 0 in
+  run_procs net (fun p -> ignore (Dsm.read dsm p v));
+  let traffic = Heatmap.node_traffic net in
+  let sum = Array.fold_left ( + ) 0 traffic in
+  Alcotest.(check int) "outgoing sums to total bytes"
+    (Link_stats.total_bytes (Network.stats net))
+    sum
+
+let test_heatmap_render_shape () =
+  let net, dsm = make_dsm ~rows:3 ~cols:5 (Dsm.access_tree ~arity:2 ()) in
+  let v = Dsm.create_var dsm ~owner:7 ~size:64 0 in
+  run_procs net (fun p -> ignore (Dsm.read dsm p v));
+  let s = Heatmap.render net in
+  (* Header line + one line per row, each cols characters wide. *)
+  let lines = String.split_on_char '\n' s in
+  let grid = List.filter (fun l -> l <> "" && not (contains l "traffic")) lines in
+  Alcotest.(check int) "3 rows" 3 (List.length grid);
+  List.iter (fun l -> Alcotest.(check int) "5 cols" 5 (String.length l)) grid
+
+let test_report_tables () =
+  let m =
+    Runner.run_matmul ~rows:4 ~cols:4 ~block:16 Runner.Hand_optimized
+  in
+  let m2 =
+    Runner.run_matmul ~rows:4 ~cols:4 ~block:16
+      (Runner.Strategy Dsm.Fixed_home)
+  in
+  let s =
+    Report.ratio_table ~title:"T" ~param:"block" ~congestion:`Bytes
+      ~rows:[ ("16", m, [ ("fh", m2) ]) ]
+  in
+  Alcotest.(check bool) "has header" true (contains s "fh cong");
+  Alcotest.(check bool) "has title" true (contains s "T");
+  let a =
+    Report.absolute_table ~title:"A" ~param:"n"
+      ~rows:[ ("1", [ ("s", m2) ]) ] ()
+  in
+  Alcotest.(check bool) "absolute has column" true (contains a "s cong(msg)")
+
+let suite =
+  [
+    Alcotest.test_case "runner matmul measurements" `Quick
+      test_runner_matmul_measurements;
+    Alcotest.test_case "runner deterministic" `Quick test_runner_deterministic;
+    Alcotest.test_case "BH phases sum to total" `Quick test_runner_bh_phase_sums;
+    Alcotest.test_case "heatmap accounts all traffic" `Quick
+      test_heatmap_accounts_all_traffic;
+    Alcotest.test_case "heatmap render shape" `Quick test_heatmap_render_shape;
+    Alcotest.test_case "report tables" `Quick test_report_tables;
+  ]

@@ -1,0 +1,225 @@
+(* Property-based tests (qcheck): protocol invariants under random
+   schedules, LRU replacement, and the theory paper's 3-competitive bound
+   for the tree strategy. *)
+
+module Network = Diva_simnet.Network
+module Dsm = Diva_core.Dsm
+module Tree_model = Diva_core.Tree_model
+module Prng = Diva_util.Prng
+open Helpers
+
+(* One random DSM workload: [ops] is a list of (proc, var index, kind)
+   executed round-by-round with barriers, one op per proc per round. *)
+let run_random_workload ~strategy ~rows ~cols ~nvars ~rounds ~seed =
+  let net, dsm = make_dsm ~rows ~cols strategy in
+  let nprocs = Network.num_nodes net in
+  let rng = Prng.create ~seed in
+  let vars = Array.init nvars (fun _ ->
+      Dsm.create_var dsm ~owner:(Prng.int rng nprocs) ~size:64 0)
+  in
+  (* Pre-draw the whole schedule so all fibers agree on it. *)
+  let schedule =
+    Array.init rounds (fun _ ->
+        Array.init nprocs (fun _ ->
+            let v = Prng.int rng nvars in
+            let kind = Prng.int rng 4 in
+            (v, kind)))
+  in
+  (* In each round, at most one processor writes each variable (writers are
+     the lowest-numbered processor that drew "write" for that var). *)
+  run_procs net (fun p ->
+      for r = 0 to rounds - 1 do
+        let v, kind = schedule.(r).(p) in
+        let i_am_writer =
+          kind = 0
+          && (let first = ref (-1) in
+              Array.iteri
+                (fun q (v', k') ->
+                  if v' = v && k' = 0 && !first < 0 then first := q)
+                schedule.(r);
+              !first = p)
+        in
+        if i_am_writer then Dsm.write dsm p vars.(v) ((r * 1000) + v)
+        else ignore (Dsm.read dsm p vars.(v));
+        Dsm.barrier dsm p
+      done);
+  (dsm, vars)
+
+let prop_access_tree_invariants =
+  QCheck.Test.make ~name:"access-tree invariants after random schedules"
+    ~count:25
+    QCheck.(
+      quad (int_range 0 4) (int_range 1 5) (int_range 1 8) (int_range 0 1000))
+    (fun (strat_i, nvars, rounds, seed) ->
+      let strategy =
+        List.nth
+          [
+            Dsm.access_tree ~arity:2 ();
+            Dsm.access_tree ~arity:4 ();
+            Dsm.access_tree ~arity:16 ();
+            Dsm.access_tree ~arity:2 ~leaf_size:4 ();
+            Dsm.access_tree ~arity:4 ~combining:false ();
+          ]
+          strat_i
+      in
+      let dsm, vars =
+        run_random_workload ~strategy ~rows:4 ~cols:4 ~nvars ~rounds ~seed
+      in
+      Array.for_all
+        (fun v ->
+          match Dsm.validate_var dsm v with
+          | Ok () -> true
+          | Error e -> QCheck.Test.fail_reportf "invariant: %s" e)
+        vars)
+
+let prop_lru_keeps_invariants =
+  QCheck.Test.make ~name:"LRU replacement keeps invariants and coherence"
+    ~count:15
+    QCheck.(pair (int_range 200 2000) (int_range 0 1000))
+    (fun (capacity, seed) ->
+      let strategy = Dsm.access_tree ~arity:2 ~capacity () in
+      let dsm, vars =
+        run_random_workload ~strategy ~rows:4 ~cols:4 ~nvars:6 ~rounds:6 ~seed
+      in
+      Array.for_all
+        (fun v ->
+          match Dsm.validate_var dsm v with
+          | Ok () -> true
+          | Error e -> QCheck.Test.fail_reportf "invariant: %s" e)
+        vars)
+
+let test_lru_evicts_and_stays_correct () =
+  (* Tiny capacity forces constant replacement; reads must still return the
+     latest written value. *)
+  let strategy = Dsm.access_tree ~arity:2 ~capacity:200 () in
+  let net, dsm = make_dsm ~rows:4 ~cols:4 strategy in
+  let vars = Array.init 10 (fun i -> Dsm.create_var dsm ~owner:i ~size:64 i) in
+  run_procs net (fun p ->
+      for r = 1 to 5 do
+        for i = 0 to 9 do
+          ignore (Dsm.read dsm p vars.(i))
+        done;
+        Dsm.barrier dsm p;
+        if p = r then Array.iteri (fun i v -> Dsm.write dsm p v ((r * 100) + i)) vars;
+        Dsm.barrier dsm p;
+        Array.iteri
+          (fun i v ->
+            Alcotest.(check int) "coherent despite evictions" ((r * 100) + i)
+              (Dsm.read dsm p v))
+          vars;
+        Dsm.barrier dsm p
+      done);
+  Alcotest.(check bool) "evictions happened" true (Dsm.evictions dsm > 0)
+
+(* --- the theory substrate: 3-competitiveness on trees ---------------- *)
+
+let gen_ops rng n len =
+  List.init len (fun _ ->
+      let v = Prng.int rng n in
+      if Prng.int rng 3 = 0 then Tree_model.Write v else Tree_model.Read v)
+
+let prop_tree_strategy_3_competitive =
+  QCheck.Test.make
+    ~name:"tree strategy is 3-competitive per edge (Maggs et al.)" ~count:300
+    QCheck.(triple (int_range 2 24) (int_range 1 120) (int_range 0 100000))
+    (fun (n, len, seed) ->
+      let rng = Prng.create ~seed in
+      let tree = Tree_model.random_tree rng ~n in
+      let owner = Prng.int rng n in
+      let ops = gen_ops rng n len in
+      let online = Tree_model.online_edge_costs tree ~owner ops in
+      let ok = ref true in
+      for edge = 1 to n - 1 do
+        let opt = Tree_model.optimal_edge_cost tree ~owner ops ~edge in
+        if online.(edge) > (3 * opt) + 3 then begin
+          ok := false;
+          QCheck.Test.fail_reportf
+            "edge %d: online %d > 3*opt(%d)+3 (n=%d len=%d seed=%d)" edge
+            online.(edge) opt n len seed
+        end
+      done;
+      !ok)
+
+let prop_tree_online_at_least_opt =
+  QCheck.Test.make ~name:"online never beats the offline optimum" ~count:300
+    QCheck.(triple (int_range 2 24) (int_range 1 120) (int_range 0 100000))
+    (fun (n, len, seed) ->
+      let rng = Prng.create ~seed in
+      let tree = Tree_model.random_tree rng ~n in
+      let owner = Prng.int rng n in
+      let ops = gen_ops rng n len in
+      let online = Tree_model.online_edge_costs tree ~owner ops in
+      let ok = ref true in
+      for edge = 1 to n - 1 do
+        let opt = Tree_model.optimal_edge_cost tree ~owner ops ~edge in
+        if online.(edge) < opt then ok := false
+      done;
+      !ok)
+
+let test_tree_model_cases () =
+  (* A path 0 - 1 - 2; owner at 0. *)
+  let tree = Tree_model.tree_of_parents [| -1; 0; 1 |] in
+  (* A single read at node 2 pulls the data across both edges once. *)
+  let online = Tree_model.online_edge_costs tree ~owner:0 [ Read 2 ] in
+  Alcotest.(check int) "edge 1 crossed once" 1 online.(1);
+  Alcotest.(check int) "edge 2 crossed once" 1 online.(2);
+  (* Repeated reads at 2 are then free. *)
+  let online = Tree_model.online_edge_costs tree ~owner:0 [ Read 2; Read 2 ] in
+  Alcotest.(check int) "second read free" 1 online.(2);
+  (* A write at 0 then read at 2 costs one more crossing. *)
+  let online =
+    Tree_model.online_edge_costs tree ~owner:0 [ Read 2; Write 0; Read 2 ]
+  in
+  Alcotest.(check int) "re-fetch after invalidation" 2 online.(2);
+  (* Optimum agrees on these simple cases. *)
+  Alcotest.(check int) "opt single read" 1
+    (Tree_model.optimal_edge_cost tree ~owner:0 [ Read 2 ] ~edge:2);
+  Alcotest.(check int) "opt read/write/read" 2
+    (Tree_model.optimal_edge_cost tree ~owner:0 [ Read 2; Write 0; Read 2 ]
+       ~edge:2);
+  (* A remote write pays the round trip online but only one crossing
+     offline (this is where the factor > 1 comes from). *)
+  let online = Tree_model.online_edge_costs tree ~owner:0 [ Write 2 ] in
+  Alcotest.(check int) "online write round-trip" 2 online.(2);
+  Alcotest.(check int) "opt write single crossing" 1
+    (Tree_model.optimal_edge_cost tree ~owner:0 [ Write 2 ] ~edge:2)
+
+let test_no_combining_still_correct () =
+  (* Heavy same-variable read contention without combining. *)
+  let strategy = Dsm.access_tree ~arity:2 ~combining:false () in
+  let net, dsm = make_dsm ~rows:4 ~cols:4 strategy in
+  let v = Dsm.create_var dsm ~owner:0 ~size:256 123 in
+  run_procs net (fun p ->
+      Alcotest.(check int) "read broadcast" 123 (Dsm.read dsm p v);
+      Dsm.barrier dsm p;
+      if p = 15 then Dsm.write dsm p v 456;
+      Dsm.barrier dsm p;
+      Alcotest.(check int) "after write" 456 (Dsm.read dsm p v))
+
+let prop_combining_reduces_traffic =
+  QCheck.Test.make ~name:"read combining never increases total load" ~count:10
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let load combining =
+        let net, dsm =
+          make_dsm ~seed ~rows:4 ~cols:4 (Dsm.access_tree ~arity:2 ~combining ())
+        in
+        let v = Dsm.create_var dsm ~owner:0 ~size:512 0 in
+        run_procs net (fun p -> ignore (Dsm.read dsm p v));
+        Diva_simnet.Link_stats.total_bytes (Network.stats net)
+      in
+      load true <= load false)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_access_tree_invariants;
+    QCheck_alcotest.to_alcotest prop_lru_keeps_invariants;
+    Alcotest.test_case "LRU evicts and stays correct" `Quick
+      test_lru_evicts_and_stays_correct;
+    QCheck_alcotest.to_alcotest prop_tree_strategy_3_competitive;
+    QCheck_alcotest.to_alcotest prop_tree_online_at_least_opt;
+    Alcotest.test_case "tree model base cases" `Quick test_tree_model_cases;
+    Alcotest.test_case "no-combining correctness" `Quick
+      test_no_combining_still_correct;
+    QCheck_alcotest.to_alcotest prop_combining_reduces_traffic;
+  ]

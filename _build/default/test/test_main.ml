@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "diva"
+    [
+      ("util", Test_util.suite);
+      ("mesh", Test_mesh.suite);
+      ("simnet", Test_simnet.suite);
+      ("dsm", Test_dsm.suite);
+      ("apps", Test_apps.suite);
+      ("invariants", Test_invariants.suite);
+      ("strategies", Test_strategies.suite);
+      ("nbody-geom", Test_nbody_geom.suite);
+      ("mesh-3d", Test_mesh3d.suite);
+      ("edges", Test_edges.suite);
+      ("harness", Test_harness.suite);
+    ]

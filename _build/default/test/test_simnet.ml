@@ -1,0 +1,221 @@
+(* Tests for the discrete-event simulator and the network model. *)
+
+module Sim = Diva_simnet.Sim
+module Machine = Diva_simnet.Machine
+module Network = Diva_simnet.Network
+module Link_stats = Diva_simnet.Link_stats
+module Mesh = Diva_mesh.Mesh
+
+type Network.payload += Ping of int
+
+let test_sim_event_order () =
+  let s = Sim.create () in
+  let log = ref [] in
+  Sim.schedule s 5.0 (fun () -> log := 5 :: !log);
+  Sim.schedule s 1.0 (fun () -> log := 1 :: !log);
+  Sim.schedule s 3.0 (fun () -> log := 3 :: !log);
+  Sim.run s;
+  Alcotest.(check (list int)) "time order" [ 1; 3; 5 ] (List.rev !log)
+
+let test_sim_fifo_same_time () =
+  let s = Sim.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Sim.schedule s 1.0 (fun () -> log := i :: !log)
+  done;
+  Sim.run s;
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_sim_nested_schedule () =
+  let s = Sim.create () in
+  let log = ref [] in
+  Sim.schedule s 1.0 (fun () ->
+      log := `A :: !log;
+      Sim.schedule s 2.0 (fun () -> log := `B :: !log));
+  Sim.run s;
+  Alcotest.(check int) "two events" 2 (List.length !log);
+  Alcotest.(check bool) "order" true (List.rev !log = [ `A; `B ])
+
+let test_sim_rejects_past () =
+  let s = Sim.create () in
+  Sim.schedule s 5.0 (fun () ->
+      Alcotest.check_raises "past" (Invalid_argument
+        "Sim.schedule: 1.000 is in the past (now = 5.000)")
+        (fun () -> Sim.schedule s 1.0 (fun () -> ())));
+  Sim.run s
+
+let test_delivery_and_congestion () =
+  let net = Network.create ~rows:1 ~cols:3 () in
+  let got = ref [] in
+  Network.set_handler net 2 (fun _ msg ->
+      got := (msg.Network.m_src, msg.Network.m_size) :: !got);
+  Network.send net ~src:0 ~dst:2 ~size:100 (Ping 1);
+  Network.run net;
+  Alcotest.(check (list (pair int int))) "delivered" [ (0, 100) ] !got;
+  (* The message crossed two links: congestion 1 message / 100 bytes. *)
+  let st = Network.stats net in
+  Alcotest.(check int) "congestion msgs" 1 (Link_stats.congestion_msgs st);
+  Alcotest.(check int) "congestion bytes" 100 (Link_stats.congestion_bytes st);
+  Alcotest.(check int) "total msgs = hops" 2 (Link_stats.total_msgs st);
+  Alcotest.(check int) "total bytes" 200 (Link_stats.total_bytes st);
+  Alcotest.(check int) "one startup" 1 (Network.startups net)
+
+let test_local_send_free () =
+  let net = Network.create ~rows:2 ~cols:2 () in
+  let got = ref 0 in
+  Network.set_handler net 1 (fun _ _ -> incr got);
+  Network.send net ~src:1 ~dst:1 ~size:1000 (Ping 2);
+  Network.run net;
+  Alcotest.(check int) "delivered locally" 1 !got;
+  Alcotest.(check int) "no congestion" 0 (Link_stats.congestion_msgs (Network.stats net));
+  Alcotest.(check int) "no startup" 0 (Network.startups net)
+
+let test_timing_uncontended () =
+  (* latency = send_overhead + (h-1)*hop_latency + size/bw, plus the
+     receiver overhead before the handler runs. *)
+  let machine = Machine.gcel in
+  let net = Network.create ~machine ~rows:1 ~cols:5 () in
+  let at = ref 0.0 in
+  Network.set_handler net 4 (fun n _ -> at := Network.now n);
+  Network.send net ~src:0 ~dst:4 ~size:1000 (Ping 3);
+  Network.run net;
+  let expected =
+    machine.Machine.send_overhead
+    +. (3.0 *. machine.Machine.hop_latency)
+    +. Machine.transfer_time machine 1000
+    +. machine.Machine.recv_overhead
+  in
+  Alcotest.(check (float 1e-6)) "uncontended latency" expected !at
+
+let test_link_contention_serializes () =
+  (* Two messages over the same link must be served one after another. *)
+  let machine = Machine.gcel in
+  let net = Network.create ~machine ~rows:1 ~cols:2 () in
+  let times = ref [] in
+  Network.set_handler net 1 (fun n _ -> times := Network.now n :: !times);
+  (* Two sends from node 0 at t=0: the second also waits for the sender's
+     CPU (startup) and then for the link. *)
+  Network.send net ~src:0 ~dst:1 ~size:10000 (Ping 1);
+  Network.send net ~src:0 ~dst:1 ~size:10000 (Ping 2);
+  Network.run net;
+  match List.rev !times with
+  | [ t1; t2 ] ->
+      let transfer = Machine.transfer_time machine 10000 in
+      Alcotest.(check bool) "second delayed by >= transfer" true
+        (t2 -. t1 >= transfer -. 1e-6)
+  | _ -> Alcotest.fail "expected two deliveries"
+
+let test_fiber_compute_and_time () =
+  let net = Network.create ~rows:1 ~cols:1 () in
+  let finished = ref 0.0 in
+  Network.spawn net 0 (fun () ->
+      Network.compute net 0 100.0;
+      Network.compute net 0 50.0;
+      finished := Network.now net);
+  Network.run net;
+  Alcotest.(check (float 1e-9)) "computes add up" 150.0 !finished;
+  Alcotest.(check (float 1e-9)) "accounted" 150.0 (Network.compute_time net 0)
+
+let test_fiber_charge_flush () =
+  let net = Network.create ~rows:1 ~cols:1 () in
+  let finished = ref 0.0 in
+  Network.spawn net 0 (fun () ->
+      Network.charge net 0 30.0;
+      Network.charge net 0 20.0;
+      Network.flush_charge net 0;
+      finished := Network.now net);
+  Network.run net;
+  Alcotest.(check (float 1e-9)) "charges folded in" 50.0 !finished;
+  Alcotest.(check (float 1e-9)) "accounted" 50.0 (Network.compute_time net 0)
+
+let test_fiber_recv_blocks () =
+  let net = Network.create ~rows:1 ~cols:2 () in
+  let got = ref (-1) in
+  Network.spawn net 1 (fun () ->
+      let msg = Network.recv net 1 () in
+      (match msg.Network.m_payload with Ping i -> got := i | _ -> ());
+      ());
+  Network.spawn net 0 (fun () ->
+      Network.compute net 0 500.0;
+      Network.send net ~src:0 ~dst:1 ~size:8 (Ping 77));
+  Network.run net;
+  Alcotest.(check int) "received" 77 !got
+
+let test_fiber_recv_filter () =
+  let net = Network.create ~rows:1 ~cols:2 () in
+  let order = ref [] in
+  Network.spawn net 1 (fun () ->
+      let m1 =
+        Network.recv net 1
+          ~where:(fun m -> match m.Network.m_payload with Ping i -> i = 2 | _ -> false)
+          ()
+      in
+      (match m1.Network.m_payload with Ping i -> order := i :: !order | _ -> ());
+      let m2 = Network.recv net 1 () in
+      match m2.Network.m_payload with Ping i -> order := i :: !order | _ -> ());
+  Network.spawn net 0 (fun () ->
+      Network.send net ~src:0 ~dst:1 ~size:8 (Ping 1);
+      Network.send net ~src:0 ~dst:1 ~size:8 (Ping 2));
+  Network.run net;
+  Alcotest.(check (list int)) "filtered then oldest" [ 2; 1 ] (List.rev !order)
+
+let test_deadlock_detection () =
+  let net = Network.create ~rows:1 ~cols:1 () in
+  Network.spawn net 0 (fun () -> ignore (Network.recv net 0 ()));
+  Alcotest.check_raises "deadlock"
+    (Failure "Network.run: deadlock — 1 fiber(s) still blocked at t = 0.0 us")
+    (fun () -> Network.run net)
+
+let test_determinism () =
+  (* Two identical runs produce identical statistics and end times. *)
+  let run () =
+    let net = Network.create ~seed:123 ~rows:4 ~cols:4 () in
+    for p = 0 to 15 do
+      Network.spawn net p (fun () ->
+          for i = 1 to 5 do
+            Network.send net ~src:p ~dst:((p + i) mod 16) ~size:(64 * i) (Ping i);
+            Network.compute net p 10.0
+          done)
+    done;
+    Network.run net;
+    ( Network.now net,
+      Link_stats.congestion_bytes (Network.stats net),
+      Link_stats.total_bytes (Network.stats net),
+      Network.startups net )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical runs" true (a = b)
+
+let test_snapshot_diff () =
+  let net = Network.create ~rows:1 ~cols:2 () in
+  Network.send net ~src:0 ~dst:1 ~size:50 (Ping 1);
+  Network.run net;
+  let snap = Link_stats.snapshot (Network.stats net) in
+  Network.send net ~src:0 ~dst:1 ~size:70 (Ping 2);
+  Network.run net;
+  Alcotest.(check int) "since snapshot bytes" 70
+    (Link_stats.congestion_bytes ~since:snap (Network.stats net));
+  Alcotest.(check int) "since snapshot msgs" 1
+    (Link_stats.congestion_msgs ~since:snap (Network.stats net));
+  Alcotest.(check int) "full history" 120
+    (Link_stats.congestion_bytes (Network.stats net))
+
+let suite =
+  [
+    Alcotest.test_case "event order" `Quick test_sim_event_order;
+    Alcotest.test_case "fifo same time" `Quick test_sim_fifo_same_time;
+    Alcotest.test_case "nested schedule" `Quick test_sim_nested_schedule;
+    Alcotest.test_case "rejects past" `Quick test_sim_rejects_past;
+    Alcotest.test_case "delivery and congestion" `Quick test_delivery_and_congestion;
+    Alcotest.test_case "local send free" `Quick test_local_send_free;
+    Alcotest.test_case "uncontended timing" `Quick test_timing_uncontended;
+    Alcotest.test_case "link contention" `Quick test_link_contention_serializes;
+    Alcotest.test_case "fiber compute" `Quick test_fiber_compute_and_time;
+    Alcotest.test_case "fiber charge/flush" `Quick test_fiber_charge_flush;
+    Alcotest.test_case "fiber recv blocks" `Quick test_fiber_recv_blocks;
+    Alcotest.test_case "fiber recv filter" `Quick test_fiber_recv_filter;
+    Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff;
+  ]

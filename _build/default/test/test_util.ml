@@ -1,0 +1,208 @@
+(* Unit and property tests for lib/util. *)
+
+module Prng = Diva_util.Prng
+module Heap = Diva_util.Pairing_heap
+module Stats = Diva_util.Stats
+module Table = Diva_util.Table
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check int) "different seeds diverge" 0 !same
+
+let test_prng_split_independence () =
+  let a = Prng.create ~seed:1 in
+  let c = Prng.split a in
+  let xs = List.init 32 (fun _ -> Prng.bits64 a) in
+  let ys = List.init 32 (fun _ -> Prng.bits64 c) in
+  Alcotest.(check bool) "split streams differ" false (xs = ys)
+
+let test_prng_int_range () =
+  let a = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int a 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_coverage () =
+  let a = Prng.create ~seed:4 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int a 8) <- true
+  done;
+  Alcotest.(check bool) "all buckets hit" true (Array.for_all Fun.id seen)
+
+let test_prng_float_range () =
+  let a = Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = Prng.float a 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_hash2_deterministic () =
+  Alcotest.(check int64) "stable" (Prng.hash2 42L 7) (Prng.hash2 42L 7);
+  Alcotest.(check bool) "distinct inputs" true (Prng.hash2 42L 7 <> Prng.hash2 42L 8)
+
+let test_hash2_int_range () =
+  for i = 0 to 999 do
+    let v = Prng.hash2_int 99L i ~bound:13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13)
+  done
+
+let test_shuffle_permutation () =
+  let a = Prng.create ~seed:6 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle a arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  let rng = Prng.create ~seed:11 in
+  let n = 500 in
+  for i = 0 to n - 1 do
+    Heap.insert h (Prng.float rng 100.0) i
+  done;
+  let last = ref neg_infinity in
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Heap.pop_min h with
+    | None -> continue := false
+    | Some (p, _) ->
+        Alcotest.(check bool) "non-decreasing" true (p >= !last);
+        last := p;
+        incr count
+  done;
+  Alcotest.(check int) "all popped" n !count
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.insert h 1.0 i
+  done;
+  for i = 0 to 9 do
+    match Heap.pop_min h with
+    | Some (_, v) -> Alcotest.(check int) "fifo among ties" i v
+    | None -> Alcotest.fail "heap empty early"
+  done
+
+let test_heap_interleaved () =
+  let h = Heap.create () in
+  Heap.insert h 5.0 `A;
+  Heap.insert h 1.0 `B;
+  Alcotest.(check bool) "min priority" true (Heap.min_priority h = Some 1.0);
+  (match Heap.pop_min h with
+  | Some (_, `B) -> ()
+  | _ -> Alcotest.fail "expected B");
+  Heap.insert h 0.5 `C;
+  (match Heap.pop_min h with
+  | Some (_, `C) -> ()
+  | _ -> Alcotest.fail "expected C");
+  (match Heap.pop_min h with
+  | Some (_, `A) -> ()
+  | _ -> Alcotest.fail "expected A");
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops sorted" ~count:200
+    QCheck.(list (pair (float_bound_inclusive 1000.0) small_int))
+    (fun items ->
+      let h = Heap.create () in
+      List.iter (fun (p, v) -> Heap.insert h p v) items;
+      let rec drain acc =
+        match Heap.pop_min h with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare popped)
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "percent" 50.0 (Stats.percent 1.0 2.0);
+  Alcotest.(check (float 1e-9)) "ratio zero den" 0.0 (Stats.ratio 1.0 0.0);
+  Alcotest.(check int) "ilog2 exact" 5 (Stats.ilog2 32);
+  Alcotest.(check int) "ilog2 floor" 5 (Stats.ilog2 63);
+  Alcotest.(check bool) "pow2 yes" true (Stats.is_power_of_two 64);
+  Alcotest.(check bool) "pow2 no" false (Stats.is_power_of_two 48);
+  Alcotest.(check bool) "pow2 zero" false (Stats.is_power_of_two 0)
+
+let contains_substring s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_table_render () =
+  let t = Table.create ~header:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains rule" true (String.contains s '-');
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains_substring s needle))
+    [ "a"; "bb"; "1"; "2"; "333"; "4" ];
+  Alcotest.(check string) "fstr small" "3.14" (Table.fstr 3.14159);
+  Alcotest.(check string) "fstr mid" "1234.5" (Table.fstr 1234.5);
+  Alcotest.(check string) "fstr large" "123457" (Table.fstr 123456.7)
+
+let suite =
+  [
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng seed sensitivity" `Quick test_prng_seed_sensitivity;
+    Alcotest.test_case "prng split independence" `Quick test_prng_split_independence;
+    Alcotest.test_case "prng int range" `Quick test_prng_int_range;
+    Alcotest.test_case "prng int coverage" `Quick test_prng_int_coverage;
+    Alcotest.test_case "prng float range" `Quick test_prng_float_range;
+    Alcotest.test_case "hash2 deterministic" `Quick test_hash2_deterministic;
+    Alcotest.test_case "hash2 int range" `Quick test_hash2_int_range;
+    Alcotest.test_case "shuffle is permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
+    Alcotest.test_case "heap fifo ties" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "heap interleaved" `Quick test_heap_interleaved;
+    QCheck_alcotest.to_alcotest prop_heap_sorted;
+    Alcotest.test_case "stats helpers" `Quick test_stats;
+    Alcotest.test_case "table render" `Quick test_table_render;
+  ]
+
+(* --- Value (universal payloads) and Machine -------------------------- *)
+
+let test_value_embedding () =
+  let inj_i, proj_i = Diva_core.Value.embed () in
+  let inj_s, proj_s = Diva_core.Value.embed () in
+  Alcotest.(check int) "roundtrip int" 42 (proj_i (inj_i 42));
+  Alcotest.(check string) "roundtrip string" "x" (proj_s (inj_s "x"));
+  (* Projecting through the wrong embedding is a type error at runtime. *)
+  match proj_i (inj_s "boom") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong embedding accepted"
+
+let test_machine_model () =
+  let m = Diva_simnet.Machine.gcel in
+  Alcotest.(check (float 1e-9)) "1 byte per us" 1024.0
+    (Diva_simnet.Machine.transfer_time m 1024);
+  (* The paper's link/processor speed ratio of ~0.86 for 4-byte words. *)
+  let word_transfer = Diva_simnet.Machine.transfer_time m 4 in
+  let word_adds = 1.0 /. m.Diva_simnet.Machine.int_op_time *. word_transfer in
+  Alcotest.(check bool)
+    (Printf.sprintf "link/cpu ratio ~0.86 (got %.2f)" word_adds)
+    true
+    (word_adds > 0.8 && word_adds < 1.4)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "value embedding" `Quick test_value_embedding;
+      Alcotest.test_case "machine model" `Quick test_machine_model;
+    ]
