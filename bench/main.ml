@@ -394,6 +394,85 @@ let dimensions_ablation () =
   print_string (Table.render tbl)
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable perf trajectory (BENCH_diva.json)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A fixed matrix of (app x mesh x strategy) runs whose full measurement
+   records are dumped as JSON, so successive PRs leave a comparable,
+   machine-readable benchmark trail. Deliberately modest sizes: the file is
+   regenerated by `bench --only bench_json` in seconds. *)
+let bench_json () =
+  banner "bench_json: writing BENCH_diva.json";
+  let open Diva_obs.Json in
+  let fields m = Obj (Runner.measurement_fields m) in
+  let mesh_label q = Printf.sprintf "%dx%d" q q in
+  let strategies =
+    [
+      ("hand-optimized", Runner.Hand_optimized);
+      ("fixed-home", Runner.Strategy Dsm.Fixed_home);
+      ("4-ary", Runner.Strategy (Dsm.access_tree ~arity:4 ()));
+      ("2-4-ary", Runner.Strategy (Dsm.access_tree ~arity:2 ~leaf_size:4 ()));
+    ]
+  in
+  let matmul =
+    List.map
+      (fun q ->
+        ( mesh_label q,
+          Obj
+            (List.map
+               (fun (sn, s) ->
+                 (sn, fields (Runner.run_matmul ~rows:q ~cols:q ~block:256 s)))
+               strategies) ))
+      [ 4; 8; 16 ]
+  in
+  let bitonic =
+    List.map
+      (fun q ->
+        ( mesh_label q,
+          Obj
+            (List.map
+               (fun (sn, s) ->
+                 (sn, fields (Runner.run_bitonic ~rows:q ~cols:q ~keys:1024 s)))
+               strategies) ))
+      [ 4; 8; 16 ]
+  in
+  let nbody =
+    let cfg = Barnes_hut.default_config ~nbodies:1000 in
+    List.map
+      (fun q ->
+        ( mesh_label q,
+          Obj
+            (List.filter_map
+               (fun (sn, s) ->
+                 match s with
+                 | Runner.Hand_optimized -> None
+                 | Runner.Strategy s ->
+                     Some
+                       ( sn,
+                         fields
+                           (Runner.run_barnes_hut ~rows:q ~cols:q ~cfg s)
+                             .Runner.bh_total ))
+               strategies) ))
+      [ 8 ]
+  in
+  let doc =
+    Obj
+      [
+        ("schema", String "diva-bench/1");
+        ("units", Obj [ ("time_us", String "simulated microseconds") ]);
+        ( "apps",
+          Obj
+            [
+              ("matmul", Obj matmul);
+              ("bitonic", Obj bitonic);
+              ("barnes-hut", Obj nbody);
+            ] );
+      ]
+  in
+  to_file "BENCH_diva.json" doc;
+  Printf.printf "wrote BENCH_diva.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -485,6 +564,7 @@ let () =
       ("remapping", remapping_ablation);
       ("replacement", replacement_ablation);
       ("dimensions", dimensions_ablation);
+      ("bench_json", bench_json);
     ]
   in
   List.iter (fun (name, f) -> if selected name then f ()) experiments;

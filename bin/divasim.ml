@@ -4,6 +4,11 @@
      divasim matmul  --mesh 16x16 --block 1024 --strategy 4-ary
      divasim bitonic --mesh 8x8   --keys 4096  --strategy fixed-home
      divasim nbody   --mesh 16x16 --bodies 4000 --strategy 2-4-ary --phases
+
+   Observability artifacts (see docs/OBSERVABILITY.md):
+
+     divasim matmul --mesh 8x8 --block 256 --strategy 4-ary \
+       --trace /tmp/t.json --metrics /tmp/m.csv --sample-interval 500
 *)
 
 module Dsm = Diva_core.Dsm
@@ -90,6 +95,132 @@ let on_net_of heatmap =
     Some (fun net -> print_string (Diva_harness.Heatmap.render net))
   else None
 
+(* ------------------------------------------------------------------ *)
+(* Observability artifacts                                             *)
+(* ------------------------------------------------------------------ *)
+
+type obs_opts = {
+  trace_file : string option;
+  metrics_file : string option;
+  manifest_file : string option;
+  sample_us : float;
+}
+
+let obs_opts_t =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON of the run (open in Perfetto \
+             or chrome://tracing). Tracing does not change the simulation.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write a time series of link congestion and CPU occupancy \
+             sampled on the simulated clock: CSV, or JSON if FILE ends in \
+             .json.")
+  in
+  let manifest =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:
+            "Write a standalone JSON run manifest (seed, mesh, strategy, \
+             app parameters, all measurements). The manifest is also \
+             embedded in the trace file's metadata.")
+  in
+  let pos_float =
+    let parse s =
+      match float_of_string_opt s with
+      | Some f when Float.is_finite f && f > 0.0 -> Ok f
+      | _ -> Error (`Msg "expected a positive number")
+    in
+    Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%g" f)
+  in
+  let sample =
+    Arg.(
+      value & opt pos_float 1000.0
+      & info [ "sample-interval" ] ~docv:"US"
+          ~doc:"Metrics sampling interval in simulated microseconds.")
+  in
+  let mk trace_file metrics_file manifest_file sample_us =
+    { trace_file; metrics_file; manifest_file; sample_us }
+  in
+  Term.(const mk $ trace $ metrics $ manifest $ sample)
+
+(* Fail on an unwritable artifact destination before the (possibly long)
+   simulation runs, not after. *)
+let preflight oo =
+  let check = function
+    | Some path ->
+        let dir = Filename.dirname path in
+        if not (Sys.file_exists dir && Sys.is_directory dir) then (
+          Printf.eprintf "divasim: cannot write %s: %s is not a directory\n"
+            path dir;
+          exit 1)
+    | None -> ()
+  in
+  check oo.trace_file;
+  check oo.metrics_file;
+  check oo.manifest_file
+
+let make_obs oo =
+  preflight oo;
+  {
+    Runner.obs_trace =
+      (match oo.trace_file with
+      | Some _ -> Diva_obs.Trace.create ()
+      | None -> Diva_obs.Trace.null);
+    obs_metrics =
+      (match oo.metrics_file with
+      | Some _ -> Some (Diva_obs.Metrics.create ())
+      | None -> None);
+    obs_sample_interval = oo.sample_us;
+  }
+
+let write_text path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let write_artifacts oo (obs : Runner.obs) ~app ~dims ~strategy ~seed ~params
+    ~measurements =
+  try
+    let manifest () =
+      Diva_obs.Manifest.make ~app ~dims ~strategy ~seed ~params ~measurements
+    in
+    (match oo.trace_file with
+    | Some path ->
+        Diva_obs.Chrome_trace.write_file ~path
+          ~num_nodes:(Array.fold_left ( * ) 1 dims)
+          ~metadata:[ ("diva", manifest ()) ]
+          (Diva_obs.Trace.events obs.Runner.obs_trace);
+        Printf.printf "trace    -> %s (%d events)\n" path
+          (Diva_obs.Trace.count obs.Runner.obs_trace)
+    | None -> ());
+    (match (oo.metrics_file, obs.Runner.obs_metrics) with
+    | Some path, Some m ->
+        if Filename.check_suffix path ".json" then
+          Diva_obs.Json.to_file path (Diva_obs.Metrics.to_json m)
+        else write_text path (Diva_obs.Metrics.to_csv m);
+        Printf.printf "metrics  -> %s (%d samples)\n" path
+          (Diva_obs.Metrics.num_rows m)
+    | _ -> ());
+    match oo.manifest_file with
+    | Some path ->
+        Diva_obs.Json.to_file path (manifest ());
+        Printf.printf "manifest -> %s\n" path
+    | None -> ()
+  with Sys_error e ->
+    Printf.eprintf "divasim: %s\n" e;
+    exit 1
+
 let print_measurements (m : Runner.measurements) =
   Printf.printf "time                 %.3f s\n" (m.Runner.time /. 1e6);
   Printf.printf "congestion           %d messages / %d bytes\n"
@@ -113,37 +244,52 @@ let matmul_cmd =
   let compute =
     Arg.(value & flag & info [ "compute" ] ~doc:"Include block arithmetic.")
   in
-  let run dims strategy block compute seed heatmap =
+  let run dims strategy block compute seed heatmap oo =
     match dims with
     | [| rows; cols |] when rows = cols ->
+        let obs = make_obs oo in
         let m =
-          Runner.run_matmul ~seed ?on_net:(on_net_of heatmap) ~rows ~cols
+          Runner.run_matmul ~seed ~obs ?on_net:(on_net_of heatmap) ~rows ~cols
             ~block ~compute strategy
         in
         Printf.printf "matmul %dx%d, block %d, strategy %s\n" rows cols block
           (Runner.name strategy);
-        print_measurements m
+        print_measurements m;
+        write_artifacts oo obs ~app:"matmul" ~dims
+          ~strategy:(Runner.name strategy) ~seed
+          ~params:
+            [ ("block", Diva_obs.Json.Int block);
+              ("compute", Diva_obs.Json.Bool compute) ]
+          ~measurements:(Runner.measurement_fields m)
     | _ -> failwith "matmul needs a square 2-D mesh"
   in
   Cmd.v (Cmd.info "matmul" ~doc:"Matrix squaring (paper 3.1)")
-    Term.(const run $ mesh_t $ strategy_t $ block $ compute $ seed_t $ heatmap_t)
+    Term.(
+      const run $ mesh_t $ strategy_t $ block $ compute $ seed_t $ heatmap_t
+      $ obs_opts_t)
 
 let bitonic_cmd =
   let keys =
     Arg.(value & opt int 4096 & info [ "keys" ] ~doc:"Keys per processor.")
   in
-  let run dims strategy keys seed heatmap =
+  let run dims strategy keys seed heatmap oo =
+    let obs = make_obs oo in
     let m =
-      Runner.run_bitonic_nd ~seed ?on_net:(on_net_of heatmap) ~dims ~keys
+      Runner.run_bitonic_nd ~seed ~obs ?on_net:(on_net_of heatmap) ~dims ~keys
         strategy
     in
     Printf.printf "bitonic %s, %d keys/proc, strategy %s\n"
       (String.concat "x" (List.map string_of_int (Array.to_list dims)))
       keys (Runner.name strategy);
-    print_measurements m
+    print_measurements m;
+    write_artifacts oo obs ~app:"bitonic" ~dims ~strategy:(Runner.name strategy)
+      ~seed
+      ~params:[ ("keys", Diva_obs.Json.Int keys) ]
+      ~measurements:(Runner.measurement_fields m)
   in
   Cmd.v (Cmd.info "bitonic" ~doc:"Bitonic sorting (paper 3.2)")
-    Term.(const run $ mesh_t $ strategy_t $ keys $ seed_t $ heatmap_t)
+    Term.(
+      const run $ mesh_t $ strategy_t $ keys $ seed_t $ heatmap_t $ obs_opts_t)
 
 let nbody_cmd =
   let bodies =
@@ -156,7 +302,7 @@ let nbody_cmd =
   let phases =
     Arg.(value & flag & info [ "phases" ] ~doc:"Print the per-phase breakdown.")
   in
-  let run dims strategy bodies steps theta phases seed heatmap =
+  let run dims strategy bodies steps theta phases seed heatmap oo =
     let strategy =
       match strategy with
       | Runner.Strategy s -> s
@@ -167,9 +313,10 @@ let nbody_cmd =
       { (Barnes_hut.default_config ~nbodies:bodies) with
         Barnes_hut.steps; theta }
     in
+    let obs = make_obs oo in
     let r =
-      Runner.run_barnes_hut_nd ~seed ?on_net:(on_net_of heatmap) ~dims ~cfg
-        strategy
+      Runner.run_barnes_hut_nd ~seed ~obs ?on_net:(on_net_of heatmap) ~dims
+        ~cfg strategy
     in
     Printf.printf "barnes-hut %s, %d bodies, theta %.2f, strategy %s\n"
       (String.concat "x" (List.map string_of_int (Array.to_list dims)))
@@ -183,12 +330,19 @@ let nbody_cmd =
           Printf.printf "-- phase: %s --\n" (Barnes_hut.phase_name ph);
           print_measurements (r.Runner.bh_phase ph))
         [ Barnes_hut.Build; Barnes_hut.Com; Barnes_hut.Partition;
-          Barnes_hut.Force; Barnes_hut.Advance; Barnes_hut.Space ]
+          Barnes_hut.Force; Barnes_hut.Advance; Barnes_hut.Space ];
+    write_artifacts oo obs ~app:"barnes-hut" ~dims
+      ~strategy:(Dsm.strategy_name strategy) ~seed
+      ~params:
+        [ ("bodies", Diva_obs.Json.Int bodies);
+          ("steps", Diva_obs.Json.Int steps);
+          ("theta", Diva_obs.Json.Float theta) ]
+      ~measurements:(Runner.measurement_fields r.Runner.bh_total)
   in
   Cmd.v (Cmd.info "nbody" ~doc:"Barnes-Hut N-body simulation (paper 3.3)")
     Term.(
       const run $ mesh_t $ strategy_t $ bodies $ steps $ theta $ phases
-      $ seed_t $ heatmap_t)
+      $ seed_t $ heatmap_t $ obs_opts_t)
 
 let () =
   let doc = "DIVA: simulated data management in mesh networks (SPAA'99)" in

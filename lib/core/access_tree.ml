@@ -2,6 +2,7 @@ module Mesh = Diva_mesh.Mesh
 module Deco = Diva_mesh.Decomposition
 module Embedding = Diva_mesh.Embedding
 module Network = Diva_simnet.Network
+module Trace = Diva_obs.Trace
 
 type body =
   | Rreq of { origin : int }
@@ -148,6 +149,24 @@ let touch t st =
   t.lru_tick <- t.lru_tick + 1;
   st.last_use <- t.lru_tick
 
+let trace_copy_add t (ctl : ctl) tnode =
+  let tr = Network.trace t.net in
+  if Trace.enabled tr then
+    Trace.emit tr
+      (Trace.Copy_add
+         { ts = Network.now t.net; node = place t ctl.var tnode;
+           var = ctl.var.Types.id; var_name = ctl.var.Types.name; tnode;
+           level = t.deco.Deco.depth.(tnode) })
+
+let trace_copy_drop t (ctl : ctl) tnode reason =
+  let tr = Network.trace t.net in
+  if Trace.enabled tr then
+    Trace.emit tr
+      (Trace.Copy_drop
+         { ts = Network.now t.net; node = place t ctl.var tnode;
+           var = ctl.var.Types.id; var_name = ctl.var.Types.name; tnode;
+           level = t.deco.Deco.depth.(tnode); reason })
+
 let send_tree t (ctl : ctl) ~from ~tnode ~size body =
   let src = place t ctl.var from and dst = place t ctl.var tnode in
   Network.send t.net ~src ~dst ~size
@@ -197,6 +216,7 @@ let evict t proc =
   match !best with
   | None -> false
   | Some (k, ctl, st, _) ->
+      trace_copy_drop t ctl (k mod t.deco.Deco.num_tree_nodes) Trace.Evicted;
       st.has_copy <- false;
       st.toward <- (match st.comp_edges with e :: _ -> e | [] -> assert false);
       st.comp_edges <- [];
@@ -232,6 +252,7 @@ let add_copy t ctl tnode st =
     st.toward <- -1;
     ctl.ncopies <- ctl.ncopies + 1;
     touch t st;
+    trace_copy_add t ctl tnode;
     account_copy t ctl tnode
   end
 
@@ -239,6 +260,7 @@ let remove_copy t ctl tnode st =
   if st.has_copy then begin
     st.has_copy <- false;
     ctl.ncopies <- ctl.ncopies - 1;
+    trace_copy_drop t ctl tnode Trace.Invalidated;
     unaccount_copy t ctl tnode
   end
 
@@ -560,6 +582,14 @@ let maybe_remap t (ctl : ctl) tnode =
           | _ -> ());
           Hashtbl.replace t.placement_override (key t ctl.var.Types.id tnode) fresh;
           t.remap_count <- t.remap_count + 1;
+          let tr = Network.trace t.net in
+          if Trace.enabled tr then
+            Trace.emit tr
+              (Trace.Remap
+                 { ts = Network.now t.net; var = ctl.var.Types.id;
+                   var_name = ctl.var.Types.name; tnode;
+                   level = t.deco.Deco.depth.(tnode); from_node = old;
+                   to_node = fresh });
           Network.send t.net ~src:old ~dst:fresh ~size
             (At { var_id = ctl.var.Types.id; from = tnode; tnode; body = Rmove })
         end

@@ -3,6 +3,7 @@ module Embedding = Diva_mesh.Embedding
 module Network = Diva_simnet.Network
 module Machine = Diva_simnet.Machine
 module Prng = Diva_util.Prng
+module Trace = Diva_obs.Trace
 
 type strategy =
   | Access_tree of {
@@ -114,6 +115,20 @@ let create_var t ?name ~owner ~size init =
   in
   { v; inj; proj }
 
+(* One shared-memory operation span: [ts] is the issue time, [dur] the
+   fiber's blocking latency (0 for hits). Emission happens after the
+   operation completes, so the event never interleaves with the protocol. *)
+let trace_op t p (v : Types.var option) op ~t0 ~hit =
+  let tr = Network.trace t.network in
+  if Trace.enabled tr then
+    let var, var_name =
+      match v with Some v -> (v.Types.id, v.Types.name) | None -> (-1, "")
+    in
+    Trace.emit tr
+      (Trace.Dsm_access
+         { ts = t0; dur = Network.now t.network -. t0; node = p; var;
+           var_name; op; hit })
+
 let read t p var =
   t.n_reads <- t.n_reads + 1;
   let hit =
@@ -124,16 +139,19 @@ let read t p var =
   if hit then begin
     t.n_read_hits <- t.n_read_hits + 1;
     Network.charge t.network p t.read_hit_cost;
+    trace_op t p (Some var.v) Trace.Read ~t0:(Network.now t.network) ~hit:true;
     var.proj var.v.Types.value
   end
   else begin
     Network.flush_charge t.network p;
+    let t0 = Network.now t.network in
     let packed =
       Network.suspend (fun resume ->
           match t.impl with
           | Tree at -> Access_tree.read at p var.v ~k:resume
           | Home fh -> Fixed_home.read fh p var.v ~k:resume)
     in
+    trace_op t p (Some var.v) Trace.Read ~t0 ~hit:false;
     var.proj packed
   end
 
@@ -148,34 +166,42 @@ let write t p var x =
   if sole then begin
     t.n_write_hits <- t.n_write_hits + 1;
     Network.charge t.network p t.write_hit_cost;
+    trace_op t p (Some var.v) Trace.Write ~t0:(Network.now t.network) ~hit:true;
     var.v.Types.value <- value
   end
   else begin
     Network.flush_charge t.network p;
+    let t0 = Network.now t.network in
     Network.suspend (fun resume ->
         let k () = resume () in
         match t.impl with
         | Tree at -> Access_tree.write at p var.v value ~k
-        | Home fh -> Fixed_home.write fh p var.v value ~k)
+        | Home fh -> Fixed_home.write fh p var.v value ~k);
+    trace_op t p (Some var.v) Trace.Write ~t0 ~hit:false
   end
 
 let lock t p var =
   Network.flush_charge t.network p;
+  let t0 = Network.now t.network in
   Network.suspend (fun resume ->
       let k () = resume () in
       match t.impl with
       | Tree at -> Access_tree.lock at p var.v ~k
-      | Home fh -> Fixed_home.lock fh p var.v ~k)
+      | Home fh -> Fixed_home.lock fh p var.v ~k);
+  trace_op t p (Some var.v) Trace.Lock ~t0 ~hit:false
 
 let unlock t p var =
   Network.charge t.network p t.write_hit_cost;
+  trace_op t p (Some var.v) Trace.Unlock ~t0:(Network.now t.network) ~hit:true;
   match t.impl with
   | Tree at -> Access_tree.unlock at p var.v
   | Home fh -> Fixed_home.unlock fh p var.v
 
 let barrier t p =
   Network.flush_charge t.network p;
-  Network.suspend (fun resume -> Sync.barrier t.sync p ~k:resume)
+  let t0 = Network.now t.network in
+  Network.suspend (fun resume -> Sync.barrier t.sync p ~k:resume);
+  trace_op t p None Trace.Barrier ~t0 ~hit:false
 
 type 'a reducer = 'a Sync.reducer
 
@@ -183,7 +209,10 @@ let reducer t ~combine ~size = Sync.reducer t.sync ~combine ~size
 
 let reduce t p r x =
   Network.flush_charge t.network p;
-  Network.suspend (fun resume -> Sync.reduce t.sync r p x ~k:resume)
+  let t0 = Network.now t.network in
+  let y = Network.suspend (fun resume -> Sync.reduce t.sync r p x ~k:resume) in
+  trace_op t p None Trace.Reduce ~t0 ~hit:false;
+  y
 
 let peek var = var.proj var.v.Types.value
 let var_name var = var.v.Types.name

@@ -1,5 +1,6 @@
 module Network = Diva_simnet.Network
 module Prng = Diva_util.Prng
+module Trace = Diva_obs.Trace
 
 type owner = Home | Owned_by of Types.proc
 
@@ -77,6 +78,20 @@ let wkey t var_id p = (var_id * Network.num_nodes t.net) + p
 
 let send t hs ~src ~dst ~size body =
   Network.send t.net ~src ~dst ~size (Fh { var_id = hs.var.Types.id; body })
+
+(* Fixed home has no access tree: copy events carry tnode/level -1. *)
+let trace_copy t hs node change =
+  let tr = Network.trace t.net in
+  if Trace.enabled tr then
+    let ts = Network.now t.net in
+    let var = hs.var.Types.id and var_name = hs.var.Types.name in
+    Trace.emit tr
+      (match change with
+      | `Add -> Trace.Copy_add { ts; node; var; var_name; tnode = -1; level = -1 }
+      | `Drop ->
+          Trace.Copy_drop
+            { ts; node; var; var_name; tnode = -1; level = -1;
+              reason = Trace.Invalidated })
 
 let send_ctl t hs ~src ~dst body = send t hs ~src ~dst ~size:Types.control_size body
 
@@ -178,11 +193,15 @@ let on_proc_msg t hs me body =
       (* The home revokes ownership; this processor keeps a (reader) copy. *)
       send_data t hs ~src:me ~dst:hs.home Hfdata
   | Hinv ->
+      if Hashtbl.mem hs.valid me then trace_copy t hs me `Drop;
       Hashtbl.remove hs.valid me;
       send_ctl t hs ~src:me ~dst:hs.home Hinvack
   | Hrdata { reader; epoch; v } ->
       assert (reader = me);
-      if epoch = hs.epoch then Hashtbl.replace hs.valid me ();
+      if epoch = hs.epoch then begin
+        if not (Hashtbl.mem hs.valid me) then trace_copy t hs me `Add;
+        Hashtbl.replace hs.valid me ()
+      end;
       let key = wkey t hs.var.Types.id me in
       (match Hashtbl.find_opt t.read_waiters key with
       | Some k ->
@@ -191,6 +210,7 @@ let on_proc_msg t hs me body =
       | None -> assert false)
   | Hgrant { origin } ->
       assert (origin = me);
+      if not (Hashtbl.mem hs.valid me) then trace_copy t hs me `Add;
       Hashtbl.replace hs.valid me ();
       let key = wkey t hs.var.Types.id me in
       (match Hashtbl.find_opt t.write_waiters key with

@@ -26,6 +26,37 @@ let name = function
   | Hand_optimized -> "hand-optimized"
   | Strategy s -> Dsm.strategy_name s
 
+type obs = {
+  obs_trace : Diva_obs.Trace.sink;
+  obs_metrics : Diva_obs.Metrics.t option;
+  obs_sample_interval : float;
+}
+
+let null_obs =
+  { obs_trace = Diva_obs.Trace.null; obs_metrics = None;
+    obs_sample_interval = 1000.0 }
+
+let install_obs net obs =
+  Network.set_trace net obs.obs_trace;
+  match obs.obs_metrics with
+  | Some m -> Network.attach_metrics net ~interval:obs.obs_sample_interval m
+  | None -> ()
+
+let measurement_fields (m : measurements) =
+  let open Diva_obs.Json in
+  [
+    ("time_us", Float m.time);
+    ("congestion_msgs", Int m.congestion_msgs);
+    ("congestion_bytes", Int m.congestion_bytes);
+    ("total_msgs", Int m.total_msgs);
+    ("total_bytes", Int m.total_bytes);
+    ("startups", Int m.startups);
+    ("max_compute_us", Float m.max_compute);
+    ("dsm_reads", Int m.dsm_reads);
+    ("dsm_read_hits", Int m.dsm_read_hits);
+    ("evictions", Int m.evictions);
+  ]
+
 let spawn_all net f =
   for p = 0 to Network.num_nodes net - 1 do
     Network.spawn net p (fun () -> f p)
@@ -46,38 +77,46 @@ let collect net dsm =
     evictions = (match dsm with Some d -> Dsm.evictions d | None -> 0);
   }
 
-let finish ?on_net net =
+let finish ?on_net ~obs net =
   Network.run net;
+  (* One final row so the series always covers the full run. *)
+  (match obs.obs_metrics with
+  | Some m -> Diva_obs.Metrics.sample m ~ts:(Network.now net)
+  | None -> ());
   match on_net with Some f -> f net | None -> ()
 
-let run_matmul ?(seed = 17) ?on_net ~rows ~cols ~block ?(compute = false) choice =
+let run_matmul ?(seed = 17) ?(obs = null_obs) ?on_net ~rows ~cols ~block
+    ?(compute = false) choice =
   let net = Network.create ~seed ~rows ~cols () in
+  install_obs net obs;
   match choice with
   | Hand_optimized ->
       let app = Matmul_handopt.setup net { Matmul_handopt.block; compute } in
       spawn_all net (fun p -> Matmul_handopt.fiber app p);
-      finish ?on_net net;
+      finish ?on_net ~obs net;
       collect net None
   | Strategy strategy ->
       let dsm = Dsm.create net ~strategy () in
       let app = Matmul.setup dsm { Matmul.block; compute } in
       spawn_all net (fun p -> Matmul.fiber app p);
-      finish ?on_net net;
+      finish ?on_net ~obs net;
       collect net (Some dsm)
 
-let run_bitonic ?(seed = 17) ?on_net ~rows ~cols ~keys ?(compute = true) choice =
+let run_bitonic ?(seed = 17) ?(obs = null_obs) ?on_net ~rows ~cols ~keys
+    ?(compute = true) choice =
   let net = Network.create ~seed ~rows ~cols () in
+  install_obs net obs;
   match choice with
   | Hand_optimized ->
       let app = Bitonic_handopt.setup net { Bitonic_handopt.keys; compute } in
       spawn_all net (fun p -> Bitonic_handopt.fiber app p);
-      finish ?on_net net;
+      finish ?on_net ~obs net;
       collect net None
   | Strategy strategy ->
       let dsm = Dsm.create net ~strategy () in
       let app = Bitonic.setup dsm { Bitonic.keys; compute } in
       spawn_all net (fun p -> Bitonic.fiber app p);
-      finish ?on_net net;
+      finish ?on_net ~obs net;
       collect net (Some dsm)
 
 type bh_result = {
@@ -119,11 +158,12 @@ let aggregate_intervals dsm startups ivs =
         evictions = Dsm.evictions dsm;
       }
 
-let run_barnes_hut_on ?on_net net ~cfg strategy =
+let run_barnes_hut_on ?(obs = null_obs) ?on_net net ~cfg strategy =
+  install_obs net obs;
   let dsm = Dsm.create net ~strategy () in
   let app = Barnes_hut.setup dsm cfg in
   spawn_all net (fun p -> Barnes_hut.fiber app p);
-  finish ?on_net net;
+  finish ?on_net ~obs net;
   let ivs = Barnes_hut.intervals app in
   let startups = Network.startups net in
   {
@@ -134,23 +174,27 @@ let run_barnes_hut_on ?on_net net ~cfg strategy =
           (List.filter (fun iv -> iv.Barnes_hut.i_phase = ph) ivs));
   }
 
-let run_barnes_hut ?(seed = 17) ?on_net ~rows ~cols ~cfg strategy =
-  run_barnes_hut_on ?on_net (Network.create ~seed ~rows ~cols ()) ~cfg strategy
+let run_barnes_hut ?(seed = 17) ?obs ?on_net ~rows ~cols ~cfg strategy =
+  run_barnes_hut_on ?obs ?on_net (Network.create ~seed ~rows ~cols ()) ~cfg
+    strategy
 
-let run_barnes_hut_nd ?(seed = 17) ?on_net ~dims ~cfg strategy =
-  run_barnes_hut_on ?on_net (Network.create_nd ~seed ~dims ()) ~cfg strategy
+let run_barnes_hut_nd ?(seed = 17) ?obs ?on_net ~dims ~cfg strategy =
+  run_barnes_hut_on ?obs ?on_net (Network.create_nd ~seed ~dims ()) ~cfg
+    strategy
 
-let run_bitonic_nd ?(seed = 17) ?on_net ~dims ~keys ?(compute = true) choice =
+let run_bitonic_nd ?(seed = 17) ?(obs = null_obs) ?on_net ~dims ~keys
+    ?(compute = true) choice =
   let net = Network.create_nd ~seed ~dims () in
+  install_obs net obs;
   match choice with
   | Hand_optimized ->
       let app = Bitonic_handopt.setup net { Bitonic_handopt.keys; compute } in
       spawn_all net (fun p -> Bitonic_handopt.fiber app p);
-      finish ?on_net net;
+      finish ?on_net ~obs net;
       collect net None
   | Strategy strategy ->
       let dsm = Dsm.create net ~strategy () in
       let app = Bitonic.setup dsm { Bitonic.keys; compute } in
       spawn_all net (fun p -> Bitonic.fiber app p);
-      finish ?on_net net;
+      finish ?on_net ~obs net;
       collect net (Some dsm)

@@ -22,15 +22,33 @@ type strategy_choice =
 
 val name : strategy_choice -> string
 
+(** Observability configuration of one run: a trace sink installed on the
+    network before the application starts, and an optional metrics registry
+    sampled every [obs_sample_interval] simulated microseconds (plus once
+    at the end of the run). The default {!null_obs} records nothing and
+    costs nothing; recording never changes the simulated execution. *)
+type obs = {
+  obs_trace : Diva_obs.Trace.sink;
+  obs_metrics : Diva_obs.Metrics.t option;
+  obs_sample_interval : float;
+}
+
+val null_obs : obs
+
+val measurement_fields : measurements -> (string * Diva_obs.Json.t) list
+(** All measurement fields as JSON key/values (run manifests, BENCH files). *)
+
 val run_matmul :
-  ?seed:int -> ?on_net:(Diva_simnet.Network.t -> unit) -> rows:int ->
-  cols:int -> block:int -> ?compute:bool -> strategy_choice -> measurements
+  ?seed:int -> ?obs:obs -> ?on_net:(Diva_simnet.Network.t -> unit) ->
+  rows:int -> cols:int -> block:int -> ?compute:bool -> strategy_choice ->
+  measurements
 (** The paper measures matmul {e communication} time: [compute] defaults to
     false so that only read, write and synchronization calls remain. *)
 
 val run_bitonic :
-  ?seed:int -> ?on_net:(Diva_simnet.Network.t -> unit) -> rows:int ->
-  cols:int -> keys:int -> ?compute:bool -> strategy_choice -> measurements
+  ?seed:int -> ?obs:obs -> ?on_net:(Diva_simnet.Network.t -> unit) ->
+  rows:int -> cols:int -> keys:int -> ?compute:bool -> strategy_choice ->
+  measurements
 (** Bitonic is measured with its (small) computation included. *)
 
 (** Aggregated Barnes-Hut measurements over the measured steps, total or
@@ -41,22 +59,24 @@ type bh_result = {
 }
 
 val run_barnes_hut :
-  ?seed:int -> ?on_net:(Diva_simnet.Network.t -> unit) -> rows:int ->
-  cols:int -> cfg:Diva_apps.Barnes_hut.config -> Diva_core.Dsm.strategy ->
-  bh_result
+  ?seed:int -> ?obs:obs -> ?on_net:(Diva_simnet.Network.t -> unit) ->
+  rows:int -> cols:int -> cfg:Diva_apps.Barnes_hut.config ->
+  Diva_core.Dsm.strategy -> bh_result
 (** There is no hand-optimized baseline for Barnes-Hut (the paper cannot
     construct one either). Times and congestion cover the measured
     (non-warmup) steps only, as in the paper. *)
 
 val run_barnes_hut_nd :
-  ?seed:int -> ?on_net:(Diva_simnet.Network.t -> unit) -> dims:int array ->
-  cfg:Diva_apps.Barnes_hut.config -> Diva_core.Dsm.strategy -> bh_result
+  ?seed:int -> ?obs:obs -> ?on_net:(Diva_simnet.Network.t -> unit) ->
+  dims:int array -> cfg:Diva_apps.Barnes_hut.config ->
+  Diva_core.Dsm.strategy -> bh_result
 (** Barnes-Hut on a mesh of arbitrary dimension — an extension beyond the
     paper exercising the theory's d-dimensional setting. *)
 
 val run_bitonic_nd :
-  ?seed:int -> ?on_net:(Diva_simnet.Network.t -> unit) -> dims:int array ->
-  keys:int -> ?compute:bool -> strategy_choice -> measurements
+  ?seed:int -> ?obs:obs -> ?on_net:(Diva_simnet.Network.t -> unit) ->
+  dims:int array -> keys:int -> ?compute:bool -> strategy_choice ->
+  measurements
 
 (** The [on_net] callback of each runner fires after the simulation
     completes, with the network still available — used e.g. for the

@@ -1,0 +1,139 @@
+open Json
+
+(* Thread ids inside a node's process. *)
+let tid_msgs = 0
+let tid_dsm = 1
+
+let op_name = function
+  | Trace.Read -> "read"
+  | Trace.Write -> "write"
+  | Trace.Lock -> "lock"
+  | Trace.Unlock -> "unlock"
+  | Trace.Barrier -> "barrier"
+  | Trace.Reduce -> "reduce"
+
+let reason_name = function
+  | Trace.Invalidated -> "invalidated"
+  | Trace.Evicted -> "evicted"
+
+let ev ~name ~cat ~ph ~ts ~pid ~tid extra =
+  Obj
+    ([
+       ("name", String name);
+       ("cat", String cat);
+       ("ph", String ph);
+       ("ts", Float ts);
+       ("pid", Int pid);
+       ("tid", Int tid);
+     ]
+    @ extra)
+
+let instant ~name ~cat ~ts ~pid ~tid args =
+  (* "s":"t" scopes the instant to its thread row. *)
+  ev ~name ~cat ~ph:"i" ~ts ~pid ~tid [ ("s", String "t"); ("args", Obj args) ]
+
+let span ~name ~cat ~ts ~dur ~pid ~tid args =
+  ev ~name ~cat ~ph:"X" ~ts ~pid ~tid
+    [ ("dur", Float dur); ("args", Obj args) ]
+
+let meta ~name ~pid ~tid display =
+  ev ~name ~cat:"__metadata" ~ph:"M" ~ts:0.0 ~pid ~tid
+    [ ("args", Obj [ ("name", String display) ]) ]
+
+let of_event ~net_pid = function
+  | Trace.Msg_send { ts; src; dst; size; local } ->
+      instant
+        ~name:(if local then "send (local)" else Printf.sprintf "send -> %d" dst)
+        ~cat:"net" ~ts ~pid:src ~tid:tid_msgs
+        [ ("dst", Int dst); ("size", Int size); ("local", Bool local) ]
+  | Trace.Msg_deliver { ts; src; dst; size } ->
+      instant
+        ~name:(Printf.sprintf "recv <- %d" src)
+        ~cat:"net" ~ts ~pid:dst ~tid:tid_msgs
+        [ ("src", Int src); ("size", Int size) ]
+  | Trace.Link_xfer { start; finish; link; src; dst; size } ->
+      span
+        ~name:(Printf.sprintf "%d -> %d" src dst)
+        ~cat:"link" ~ts:start ~dur:(finish -. start) ~pid:net_pid ~tid:link
+        [ ("size", Int size) ]
+  | Trace.Dsm_access { ts; dur; node; var; var_name; op; hit } ->
+      span
+        ~name:
+          (if var < 0 then op_name op
+           else Printf.sprintf "%s %s%s" (op_name op) var_name
+                  (if hit then " (hit)" else ""))
+        ~cat:"dsm" ~ts ~dur ~pid:node ~tid:tid_dsm
+        [ ("var", Int var); ("hit", Bool hit) ]
+  | Trace.Copy_add { ts; node; var; var_name; tnode; level } ->
+      instant
+        ~name:(Printf.sprintf "copy+ %s" var_name)
+        ~cat:"copies" ~ts ~pid:node ~tid:tid_dsm
+        [ ("var", Int var); ("tnode", Int tnode); ("level", Int level) ]
+  | Trace.Copy_drop { ts; node; var; var_name; tnode; level; reason } ->
+      instant
+        ~name:(Printf.sprintf "copy- %s (%s)" var_name (reason_name reason))
+        ~cat:"copies" ~ts ~pid:node ~tid:tid_dsm
+        [ ("var", Int var); ("tnode", Int tnode); ("level", Int level) ]
+  | Trace.Remap { ts; var; var_name; tnode; level; from_node; to_node } ->
+      instant
+        ~name:(Printf.sprintf "remap %s@%d" var_name tnode)
+        ~cat:"remap" ~ts ~pid:from_node ~tid:tid_dsm
+        [ ("var", Int var); ("level", Int level); ("to", Int to_node) ]
+
+let to_json ?(metadata = []) ~num_nodes events =
+  let net_pid = num_nodes in
+  let sorted =
+    List.stable_sort
+      (fun a b -> Float.compare (Trace.timestamp a) (Trace.timestamp b))
+      events
+  in
+  (* Name only the processes/threads that actually appear. *)
+  let node_used = Array.make (max 1 num_nodes) false in
+  let links = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      match e with
+      | Trace.Link_xfer { link; _ } -> Hashtbl.replace links link ()
+      | Trace.Msg_send { src; _ } -> node_used.(src) <- true
+      | Trace.Msg_deliver { dst; _ } -> node_used.(dst) <- true
+      | Trace.Dsm_access { node; _ }
+      | Trace.Copy_add { node; _ }
+      | Trace.Copy_drop { node; _ } ->
+          node_used.(node) <- true
+      | Trace.Remap { from_node; _ } -> node_used.(from_node) <- true)
+    sorted;
+  let metas = ref [] in
+  if Hashtbl.length links > 0 then begin
+    Hashtbl.iter
+      (fun link () ->
+        metas :=
+          meta ~name:"thread_name" ~pid:net_pid ~tid:link
+            (Printf.sprintf "link %d" link)
+          :: !metas)
+      links;
+    metas := meta ~name:"process_name" ~pid:net_pid ~tid:0 "network" :: !metas
+  end;
+  Array.iteri
+    (fun node used ->
+      if used then begin
+        metas :=
+          meta ~name:"process_name" ~pid:node ~tid:0
+            (Printf.sprintf "node %d" node)
+          :: meta ~name:"thread_name" ~pid:node ~tid:tid_msgs "messages"
+          :: meta ~name:"thread_name" ~pid:node ~tid:tid_dsm "dsm"
+          :: !metas
+      end)
+    node_used;
+  let trace_events = !metas @ List.map (of_event ~net_pid) sorted in
+  Obj
+    ([
+       ("traceEvents", List trace_events);
+       ("displayTimeUnit", String "ms");
+     ]
+    @ if metadata = [] then [] else [ ("metadata", Obj metadata) ])
+
+let to_string ?metadata ~num_nodes events =
+  Json.to_string (to_json ?metadata ~num_nodes events)
+
+let write_file ?metadata ~num_nodes ~path events =
+  Json.to_file path (to_json ?metadata ~num_nodes events)

@@ -1,0 +1,33 @@
+(** Export a trace to the Chrome trace-event JSON format.
+
+    The output is the object form [{ "traceEvents": [...], ... }] and loads
+    directly in Perfetto ({{:https://ui.perfetto.dev}ui.perfetto.dev}) or
+    [chrome://tracing]. Timestamps are the simulation's microseconds, which
+    is the trace format's native unit.
+
+    Layout: each mesh node becomes a process (pid = node id) with a
+    "messages" row for sends/deliveries and a "dsm" row for shared-memory
+    operation spans and copy-set changes; one extra "network" process
+    (pid = number of nodes) holds a row per directed link whose slices are
+    the link-occupancy intervals. Events are emitted sorted by timestamp. *)
+
+val to_json :
+  ?metadata:(string * Json.t) list ->
+  num_nodes:int ->
+  Trace.event list ->
+  Json.t
+(** [metadata] entries (e.g. the run manifest) are attached under the
+    top-level ["metadata"] key. *)
+
+val to_string :
+  ?metadata:(string * Json.t) list ->
+  num_nodes:int ->
+  Trace.event list ->
+  string
+
+val write_file :
+  ?metadata:(string * Json.t) list ->
+  num_nodes:int ->
+  path:string ->
+  Trace.event list ->
+  unit

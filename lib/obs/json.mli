@@ -1,0 +1,23 @@
+(** Minimal JSON document builder (writer only, no parser).
+
+    The observability artifacts — Chrome traces, run manifests, benchmark
+    snapshots — are plain JSON files; this module avoids a dependency on an
+    external JSON library. Non-finite floats serialise as [null] so the
+    output is always standard-compliant. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_file : string -> t -> unit
+(** Write the document followed by a trailing newline. *)

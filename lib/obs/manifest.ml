@@ -1,0 +1,11 @@
+let make ~app ~dims ~strategy ~seed ~params ~measurements =
+  Json.Obj
+    [
+      ("schema", Json.String "diva-run-manifest/1");
+      ("app", Json.String app);
+      ("mesh", Json.List (List.map (fun d -> Json.Int d) (Array.to_list dims)));
+      ("strategy", Json.String strategy);
+      ("seed", Json.Int seed);
+      ("params", Json.Obj params);
+      ("measurements", Json.Obj measurements);
+    ]

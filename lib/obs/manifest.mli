@@ -1,0 +1,12 @@
+(** Machine-readable run manifest: everything needed to reproduce and
+    index one simulation run, plus its headline measurements. Embedded in
+    the Chrome trace's metadata and writable as a standalone artifact. *)
+
+val make :
+  app:string ->
+  dims:int array ->
+  strategy:string ->
+  seed:int ->
+  params:(string * Json.t) list ->
+  measurements:(string * Json.t) list ->
+  Json.t

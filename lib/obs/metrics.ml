@@ -1,0 +1,83 @@
+type series = Counter of float ref | Gauge of (unit -> float)
+
+type t = {
+  mutable rev_cols : (string * series) list;
+  mutable rev_rows : (float * float array) list;
+  mutable nrows : int;
+}
+
+type counter = float ref
+
+let create () = { rev_cols = []; rev_rows = []; nrows = 0 }
+
+let counter t name =
+  let rec find = function
+    | (n, Counter c) :: _ when n = name -> Some c
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  match find t.rev_cols with
+  | Some c -> c
+  | None ->
+      let c = ref 0.0 in
+      t.rev_cols <- (name, Counter c) :: t.rev_cols;
+      c
+
+let incr c ?(by = 1.0) () = c := !c +. by
+
+let gauge t name f = t.rev_cols <- (name, Gauge f) :: t.rev_cols
+
+let cols t = List.rev t.rev_cols
+let columns t = List.map fst (cols t)
+
+let sample t ~ts =
+  let stale =
+    match t.rev_rows with (prev, _) :: _ -> ts <= prev | [] -> false
+  in
+  if not stale then begin
+    let row =
+      Array.of_list
+        (List.map
+           (fun (_, s) -> match s with Counter c -> !c | Gauge f -> f ())
+           (cols t))
+    in
+    t.rev_rows <- (ts, row) :: t.rev_rows;
+    t.nrows <- t.nrows + 1
+  end
+
+let rows t = List.rev t.rev_rows
+let num_rows t = t.nrows
+
+let cell v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6f" v
+
+let to_csv t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (String.concat "," ("ts_us" :: columns t));
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (ts, row) ->
+      Buffer.add_string b (cell ts);
+      Array.iter
+        (fun v ->
+          Buffer.add_char b ',';
+          Buffer.add_string b (cell v))
+        row;
+      Buffer.add_char b '\n')
+    (rows t);
+  Buffer.contents b
+
+let to_json t =
+  Json.Obj
+    [
+      ("columns", Json.List (List.map (fun c -> Json.String c) (columns t)));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (ts, row) ->
+               Json.List
+                 (Json.Float ts
+                 :: Array.to_list (Array.map (fun v -> Json.Float v) row)))
+             (rows t)) );
+    ]

@@ -1,0 +1,42 @@
+(** Metrics registry: named counters and gauges sampled into a time series.
+
+    A registry holds an ordered set of series. Counters are incremented by
+    instrumentation code; gauges are callbacks evaluated at sampling time
+    (e.g. "links busy right now"). {!sample} appends one row — the current
+    value of every series — stamped with a simulation time. The periodic
+    driver lives in {!Diva_simnet.Network.attach_metrics}, which samples on
+    simulated-clock boundaries; sampling reads state only, so a metered run
+    is bit-identical to an unmetered one. *)
+
+type t
+
+val create : unit -> t
+
+type counter
+
+val counter : t -> string -> counter
+(** Register (or look up) a counter column. *)
+
+val incr : counter -> ?by:float -> unit -> unit
+
+val gauge : t -> string -> (unit -> float) -> unit
+(** Register a gauge column; the callback runs at each {!sample}. *)
+
+val sample : t -> ts:float -> unit
+(** Append one row at simulated time [ts]. Rows with a timestamp equal to
+    the previous row's are skipped (the final end-of-run sample may land on
+    a periodic boundary). *)
+
+val columns : t -> string list
+(** Column names in registration order. *)
+
+val rows : t -> (float * float array) list
+(** Sampled rows, oldest first; each array is in {!columns} order. *)
+
+val num_rows : t -> int
+
+val to_csv : t -> string
+(** ["ts_us,<col>,...\n"] header plus one line per row. *)
+
+val to_json : t -> Json.t
+(** [{ "columns": [...], "rows": [[ts, v, ...], ...] }]. *)

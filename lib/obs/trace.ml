@@ -1,0 +1,78 @@
+type dsm_op = Read | Write | Lock | Unlock | Barrier | Reduce
+
+type drop_reason = Invalidated | Evicted
+
+type event =
+  | Msg_send of { ts : float; src : int; dst : int; size : int; local : bool }
+  | Msg_deliver of { ts : float; src : int; dst : int; size : int }
+  | Link_xfer of {
+      start : float;
+      finish : float;
+      link : int;
+      src : int;
+      dst : int;
+      size : int;
+    }
+  | Dsm_access of {
+      ts : float;
+      dur : float;
+      node : int;
+      var : int;
+      var_name : string;
+      op : dsm_op;
+      hit : bool;
+    }
+  | Copy_add of {
+      ts : float;
+      node : int;
+      var : int;
+      var_name : string;
+      tnode : int;
+      level : int;
+    }
+  | Copy_drop of {
+      ts : float;
+      node : int;
+      var : int;
+      var_name : string;
+      tnode : int;
+      level : int;
+      reason : drop_reason;
+    }
+  | Remap of {
+      ts : float;
+      var : int;
+      var_name : string;
+      tnode : int;
+      level : int;
+      from_node : int;
+      to_node : int;
+    }
+
+let timestamp = function
+  | Msg_send { ts; _ } -> ts
+  | Msg_deliver { ts; _ } -> ts
+  | Link_xfer { start; _ } -> start
+  | Dsm_access { ts; _ } -> ts
+  | Copy_add { ts; _ } -> ts
+  | Copy_drop { ts; _ } -> ts
+  | Remap { ts; _ } -> ts
+
+type sink = {
+  on : bool;
+  mutable rev_events : event list;
+  mutable n : int;
+}
+
+let null = { on = false; rev_events = []; n = 0 }
+let create () = { on = true; rev_events = []; n = 0 }
+let enabled s = s.on
+
+let emit s e =
+  if s.on then begin
+    s.rev_events <- e :: s.rev_events;
+    s.n <- s.n + 1
+  end
+
+let count s = s.n
+let events s = List.rev s.rev_events

@@ -1,0 +1,100 @@
+(** Structured trace-event stream of one simulation run.
+
+    Every layer of the simulator emits semantic events into a {!sink}: the
+    network records message sends, per-link occupancy intervals and
+    deliveries; the DSM layer records read/write/lock/barrier transactions
+    (with hit/miss and latency) and copy-set changes tagged with the
+    access-tree node and its level. Timestamps are simulated microseconds.
+
+    Tracing never perturbs the simulation: emission only appends to an
+    in-memory buffer, so a traced run is bit-identical to an untraced one.
+    The {!null} sink is disabled; instrumentation sites guard event
+    construction with {!enabled}, making the disabled path a single load
+    and branch (no allocation). *)
+
+type dsm_op = Read | Write | Lock | Unlock | Barrier | Reduce
+
+type drop_reason =
+  | Invalidated  (** removed by a write's invalidation wave *)
+  | Evicted  (** removed by LRU replacement under bounded memory *)
+
+type event =
+  | Msg_send of { ts : float; src : int; dst : int; size : int; local : bool }
+      (** A message enters the network at [ts] (CPU injection time not
+          included). [local] messages never occupy links. *)
+  | Msg_deliver of { ts : float; src : int; dst : int; size : int }
+      (** The message's tail arrived at the destination at [ts] (receive
+          overhead and handler execution follow). *)
+  | Link_xfer of {
+      start : float;
+      finish : float;
+      link : int;
+      src : int;
+      dst : int;
+      size : int;
+    }
+      (** One directed link was occupied by the message for
+          [start, finish). Exactly one event per link crossing — per-link
+          aggregation of these reproduces {!Diva_simnet.Link_stats}. *)
+  | Dsm_access of {
+      ts : float;
+      dur : float;
+      node : int;
+      var : int;  (** variable id; [-1] for variable-less ops (barriers) *)
+      var_name : string;
+      op : dsm_op;
+      hit : bool;  (** completed from the local copy, no transaction *)
+    }
+      (** One shared-memory operation issued by [node]'s fiber: [ts] is the
+          issue time, [dur] the blocking latency (0 for hits). *)
+  | Copy_add of {
+      ts : float;
+      node : int;
+      var : int;
+      var_name : string;
+      tnode : int;  (** access-tree node id; [-1] under fixed-home *)
+      level : int;  (** tree depth of [tnode] (root 0); [-1] if no tree *)
+    }
+  | Copy_drop of {
+      ts : float;
+      node : int;
+      var : int;
+      var_name : string;
+      tnode : int;
+      level : int;
+      reason : drop_reason;
+    }
+  | Remap of {
+      ts : float;
+      var : int;
+      var_name : string;
+      tnode : int;
+      level : int;
+      from_node : int;
+      to_node : int;
+    }
+      (** FOCS'97 variant: tree node [tnode] migrated to a fresh random
+          processor of its submesh. *)
+
+val timestamp : event -> float
+(** Primary timestamp of the event ([start] for {!Link_xfer}). *)
+
+type sink
+
+val null : sink
+(** The shared disabled sink; {!emit} on it is a no-op. *)
+
+val create : unit -> sink
+(** A fresh enabled sink with an empty buffer. *)
+
+val enabled : sink -> bool
+(** Instrumentation sites test this before constructing an event. *)
+
+val emit : sink -> event -> unit
+(** Append; ignored on a disabled sink. Events may be appended out of
+    timestamp order (a send emits its delivery event eagerly); exporters
+    sort. *)
+
+val count : sink -> int
+val events : sink -> event list
+(** Events in emission order. *)

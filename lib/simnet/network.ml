@@ -1,5 +1,7 @@
 module Prng = Diva_util.Prng
 module Mesh = Diva_mesh.Mesh
+module Trace = Diva_obs.Trace
+module Metrics = Diva_obs.Metrics
 
 type payload = ..
 type payload += Empty
@@ -25,6 +27,7 @@ type t = {
   node_startup_count : int array;
   mutable startup_count : int;
   mutable fibers : int;
+  mutable trace : Trace.sink;
 }
 
 let default_handler t msg =
@@ -61,6 +64,7 @@ let create_nd ?(machine = Machine.gcel) ?(seed = 42) ~dims () =
     node_startup_count = Array.make n 0;
     startup_count = 0;
     fibers = 0;
+    trace = Trace.null;
   }
 
 let create ?machine ?seed ~rows ~cols () =
@@ -81,6 +85,38 @@ let max_compute_time t = Array.fold_left Float.max 0.0 t.node_compute
 let total_compute_time t = Array.fold_left ( +. ) 0.0 t.node_compute
 let compute_times t = Array.copy t.node_compute
 let live_fibers t = t.fibers
+let trace t = t.trace
+let set_trace t sink = t.trace <- sink
+
+(* Standard observability gauges plus a periodic sampler on the simulated
+   clock. Sampling only reads state (the Sim advance hook schedules
+   nothing), so attaching metrics cannot perturb the run. *)
+let attach_metrics t ?(interval = 1000.0) m =
+  if not (Float.is_finite interval) || interval <= 0.0 then
+    invalid_arg "Network.attach_metrics: interval must be positive";
+  let busy free = float_of_int (Array.fold_left
+      (fun acc f -> if f > Sim.now t.sim then acc + 1 else acc) 0 free)
+  in
+  Metrics.gauge m "congestion_msgs"
+    (fun () -> float_of_int (Link_stats.congestion_msgs t.stats));
+  Metrics.gauge m "congestion_bytes"
+    (fun () -> float_of_int (Link_stats.congestion_bytes t.stats));
+  Metrics.gauge m "total_msgs"
+    (fun () -> float_of_int (Link_stats.total_msgs t.stats));
+  Metrics.gauge m "total_bytes"
+    (fun () -> float_of_int (Link_stats.total_bytes t.stats));
+  Metrics.gauge m "links_busy" (fun () -> busy t.link_free);
+  Metrics.gauge m "cpus_busy" (fun () -> busy t.cpu_free);
+  Metrics.gauge m "startups" (fun () -> float_of_int t.startup_count);
+  Metrics.gauge m "total_compute"
+    (fun () -> Array.fold_left ( +. ) 0.0 t.node_compute);
+  Metrics.gauge m "live_fibers" (fun () -> float_of_int t.fibers);
+  let next = ref interval in
+  Sim.set_advance_hook t.sim (fun _old_clock new_clock ->
+      while !next <= new_clock do
+        Metrics.sample m ~ts:!next;
+        next := !next +. interval
+      done)
 
 (* Reserve the node's CPU for [dt] starting no earlier than [from]; returns
    the completion time. Pending charged computation is folded in first. *)
@@ -101,10 +137,16 @@ let send t ~src ~dst ~size payload =
   let msg = { m_src = src; m_dst = dst; m_size = size; m_payload = payload } in
   if src = dst then begin
     (* Node-local protocol hop: no startup, no network traffic. *)
+    if Trace.enabled t.trace then
+      Trace.emit t.trace
+        (Trace.Msg_send { ts = now t; src; dst; size; local = true });
     let at = reserve_cpu t src ~from:(now t) t.machine.Machine.local_overhead in
     Sim.schedule t.sim at (fun () -> t.handlers.(dst) t msg)
   end
   else begin
+    if Trace.enabled t.trace then
+      Trace.emit t.trace
+        (Trace.Msg_send { ts = now t; src; dst; size; local = false });
     t.startup_count <- t.startup_count + 1;
     t.node_startup_count.(src) <- t.node_startup_count.(src) + 1;
     let inject_at = reserve_cpu t src ~from:(now t) t.machine.Machine.send_overhead in
@@ -118,9 +160,16 @@ let send t ~src ~dst ~size payload =
         let start = Float.max !arrival t.link_free.(link) in
         t.link_free.(link) <- start +. occupancy;
         Link_stats.record t.stats ~link ~bytes:size;
+        if Trace.enabled t.trace then
+          Trace.emit t.trace
+            (Trace.Link_xfer
+               { start; finish = start +. occupancy; link; src; dst; size });
         last_start := start;
         arrival := start +. t.machine.Machine.hop_latency);
     let delivered_at = !last_start +. occupancy in
+    if Trace.enabled t.trace then
+      Trace.emit t.trace
+        (Trace.Msg_deliver { ts = delivered_at; src; dst; size });
     deliver t msg delivered_at
   end
 

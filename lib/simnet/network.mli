@@ -99,3 +99,22 @@ val total_compute_time : t -> float
 
 val compute_times : t -> float array
 (** Copy of all per-node computation times (phase snapshots). *)
+
+(** {2 Observability}
+
+    The network owns one {!Diva_obs.Trace.sink} (the disabled
+    {!Diva_obs.Trace.null} by default) into which it emits message and
+    per-link occupancy events; protocol layers above share the same sink
+    via {!trace}. Tracing and metrics sampling only append to in-memory
+    buffers, so an instrumented run is bit-identical to a bare one. *)
+
+val trace : t -> Diva_obs.Trace.sink
+val set_trace : t -> Diva_obs.Trace.sink -> unit
+
+val attach_metrics : t -> ?interval:float -> Diva_obs.Metrics.t -> unit
+(** Register the standard gauges (link congestion and load, busy links and
+    CPUs, startups, accumulated compute, live fibers) on the registry and
+    sample them every [interval] simulated microseconds (default 1000)
+    while the simulation runs. Sample timestamps are the exact boundaries
+    [interval], [2*interval], ...; values reflect the state after the last
+    event before each boundary. *)

@@ -4,9 +4,13 @@ type t = {
   queue : (unit -> unit) Heap.t;
   mutable clock : float;
   mutable executed : int;
+  mutable advance_hook : (float -> float -> unit) option;
 }
 
-let create () = { queue = Heap.create (); clock = 0.0; executed = 0 }
+let create () =
+  { queue = Heap.create (); clock = 0.0; executed = 0; advance_hook = None }
+
+let set_advance_hook t f = t.advance_hook <- Some f
 let now t = t.clock
 
 let schedule t at f =
@@ -23,6 +27,9 @@ let run t =
     match Heap.pop_min t.queue with
     | None -> continue := false
     | Some (at, f) ->
+        (match t.advance_hook with
+        | Some h when at > t.clock -> h t.clock at
+        | _ -> ());
         t.clock <- at;
         t.executed <- t.executed + 1;
         f ()

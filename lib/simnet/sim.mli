@@ -18,4 +18,11 @@ val schedule_now : t -> (unit -> unit) -> unit
 val run : t -> unit
 (** Execute events until the queue is empty. *)
 
+val set_advance_hook : t -> (float -> float -> unit) -> unit
+(** [set_advance_hook t h] makes {!run} call [h old_clock new_clock] just
+    before the clock jumps forward (strictly), i.e. between the events of
+    two distinct instants. The hook must only observe state — it must not
+    schedule events or mutate the simulation — so that an instrumented run
+    is indistinguishable from a bare one. Used by the metrics sampler. *)
+
 val events_executed : t -> int

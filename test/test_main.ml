@@ -12,4 +12,5 @@ let () =
       ("mesh-3d", Test_mesh3d.suite);
       ("edges", Test_edges.suite);
       ("harness", Test_harness.suite);
+      ("obs", Test_obs.suite);
     ]

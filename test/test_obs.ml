@@ -1,0 +1,216 @@
+(* Observability layer: trace aggregation consistency, zero-perturbation,
+   exporter well-formedness. *)
+
+module Runner = Diva_harness.Runner
+module Trace = Diva_obs.Trace
+module Metrics = Diva_obs.Metrics
+module Json = Diva_obs.Json
+
+let strategy = Diva_core.Dsm.access_tree ~arity:4 ()
+
+let run_matmul ?(obs = Runner.null_obs) () =
+  Runner.run_matmul ~rows:4 ~cols:4 ~block:64 ~obs (Runner.Strategy strategy)
+
+let traced_run () =
+  let tr = Trace.create () in
+  let m =
+    run_matmul
+      ~obs:{ Runner.null_obs with Runner.obs_trace = tr }
+      ()
+  in
+  (tr, m)
+
+(* (a) Per-link aggregation of Link_xfer events must reproduce the
+   Link_stats counters exactly: the network emits exactly one event per
+   link crossing. *)
+let test_link_aggregation () =
+  let tr, (m : Runner.measurements) = traced_run () in
+  let msgs = Hashtbl.create 64 and bytes = Hashtbl.create 64 in
+  let bump tbl k v =
+    Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  List.iter
+    (function
+      | Trace.Link_xfer { link; size; _ } ->
+          bump msgs link 1;
+          bump bytes link size
+      | _ -> ())
+    (Trace.events tr);
+  let max_of tbl = Hashtbl.fold (fun _ v acc -> max v acc) tbl 0 in
+  let sum_of tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0 in
+  Alcotest.(check int) "congestion msgs" m.Runner.congestion_msgs (max_of msgs);
+  Alcotest.(check int) "congestion bytes" m.Runner.congestion_bytes
+    (max_of bytes);
+  Alcotest.(check int) "total msgs" m.Runner.total_msgs (sum_of msgs);
+  Alcotest.(check int) "total bytes" m.Runner.total_bytes (sum_of bytes)
+
+(* DSM access events must agree with the DSM's own operation counters. *)
+let test_dsm_events () =
+  let tr, (m : Runner.measurements) = traced_run () in
+  let reads = ref 0 and hits = ref 0 and copies = ref 0 in
+  List.iter
+    (function
+      | Trace.Dsm_access { op = Trace.Read; hit; _ } ->
+          incr reads;
+          if hit then incr hits
+      | Trace.Copy_add _ -> incr copies
+      | _ -> ())
+    (Trace.events tr);
+  Alcotest.(check int) "read events" m.Runner.dsm_reads !reads;
+  Alcotest.(check int) "read hits" m.Runner.dsm_read_hits !hits;
+  Alcotest.(check bool) "copies migrate" true (!copies > 0)
+
+(* (b) Tracing and metrics sampling must not perturb the simulation. *)
+let test_zero_perturbation () =
+  let plain = run_matmul () in
+  let metrics = Metrics.create () in
+  let tr = Trace.create () in
+  let obs =
+    { Runner.obs_trace = tr; obs_metrics = Some metrics;
+      obs_sample_interval = 100.0 }
+  in
+  let instrumented = run_matmul ~obs () in
+  Alcotest.(check (float 0.0)) "time" plain.Runner.time
+    instrumented.Runner.time;
+  Alcotest.(check int) "congestion bytes" plain.Runner.congestion_bytes
+    instrumented.Runner.congestion_bytes;
+  Alcotest.(check int) "congestion msgs" plain.Runner.congestion_msgs
+    instrumented.Runner.congestion_msgs;
+  Alcotest.(check int) "total msgs" plain.Runner.total_msgs
+    instrumented.Runner.total_msgs;
+  Alcotest.(check int) "startups" plain.Runner.startups
+    instrumented.Runner.startups;
+  Alcotest.(check (float 0.0)) "max compute" plain.Runner.max_compute
+    instrumented.Runner.max_compute;
+  Alcotest.(check bool) "sampled" true (Metrics.num_rows metrics > 0)
+
+(* Structural JSON scanner: balanced delimiters outside strings, complete
+   escapes. Not a parser, but catches any quoting/nesting bug the writer
+   could produce. *)
+let structurally_valid_json s =
+  let depth = ref 0 and in_str = ref false and esc = ref false in
+  let ok = ref true in
+  String.iter
+    (fun c ->
+      if !in_str then
+        if !esc then esc := false
+        else if c = '\\' then esc := true
+        else if c = '"' then in_str := false
+        else ()
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && (not !in_str) && not !esc
+
+let ts_values s =
+  let key = "\"ts\":" in
+  let kl = String.length key and n = String.length s in
+  let res = ref [] and i = ref 0 in
+  while !i + kl <= n do
+    if String.sub s !i kl = key then begin
+      let j = ref (!i + kl) in
+      let start = !j in
+      while
+        !j < n
+        && (match s.[!j] with
+           | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      res := float_of_string (String.sub s start (!j - start)) :: !res;
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !res
+
+(* (c) The Chrome trace export is well-formed and timestamps are emitted in
+   monotone (non-decreasing) order. *)
+let test_chrome_export () =
+  let tr, _ = traced_run () in
+  let s =
+    Diva_obs.Chrome_trace.to_string ~num_nodes:16
+      ~metadata:[ ("note", Json.String "test \"escape\" \n check") ]
+      (Trace.events tr)
+  in
+  Alcotest.(check bool) "structurally valid" true (structurally_valid_json s);
+  let ts = ts_values s in
+  Alcotest.(check bool) "has events" true (List.length ts > 100);
+  let monotone =
+    let rec go = function
+      | a :: (b :: _ as rest) -> a <= b && go rest
+      | _ -> true
+    in
+    go ts
+  in
+  Alcotest.(check bool) "monotone timestamps" true monotone
+
+let test_metrics_csv () =
+  let metrics = Metrics.create () in
+  let obs =
+    { Runner.null_obs with Runner.obs_metrics = Some metrics;
+      obs_sample_interval = 500.0 }
+  in
+  let m = run_matmul ~obs () in
+  let csv = Metrics.to_csv metrics in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (match lines with
+  | header :: rows ->
+      let cols = String.split_on_char ',' header in
+      Alcotest.(check string) "first column" "ts_us" (List.hd cols);
+      Alcotest.(check bool) "congestion column" true
+        (List.mem "congestion_msgs" cols);
+      Alcotest.(check bool) "cpu column" true (List.mem "cpus_busy" cols);
+      Alcotest.(check int) "row count" (Metrics.num_rows metrics)
+        (List.length rows);
+      List.iter
+        (fun row ->
+          Alcotest.(check int) "row width" (List.length cols)
+            (List.length (String.split_on_char ',' row)))
+        rows;
+      (* Covers the whole run: > time/interval rows, monotone stamps. *)
+      Alcotest.(check bool) "covers the run" true
+        (float_of_int (List.length rows) >= m.Runner.time /. 500.0)
+  | [] -> Alcotest.fail "empty csv");
+  let stamps = List.map fst (Metrics.rows metrics) in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a < b && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly increasing stamps" true (mono stamps)
+
+let test_json_writer () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\nd\tcontrol:\x01");
+        ("i", Json.Int (-3));
+        ("f", Json.Float 1.5);
+        ("big", Json.Float 301292.0);
+        ("nan", Json.Float Float.nan);
+        ("l", Json.List [ Json.Null; Json.Bool true ]);
+      ]
+  in
+  Alcotest.(check string) "rendering"
+    "{\"s\":\"a\\\"b\\\\c\\nd\\tcontrol:\\u0001\",\"i\":-3,\"f\":1.5,\"big\":301292,\"nan\":null,\"l\":[null,true]}"
+    (Json.to_string doc)
+
+let suite =
+  [
+    Alcotest.test_case "link aggregation = Link_stats" `Quick
+      test_link_aggregation;
+    Alcotest.test_case "dsm events = dsm counters" `Quick test_dsm_events;
+    Alcotest.test_case "tracing does not perturb the run" `Quick
+      test_zero_perturbation;
+    Alcotest.test_case "chrome export well-formed + monotone" `Quick
+      test_chrome_export;
+    Alcotest.test_case "metrics csv shape" `Quick test_metrics_csv;
+    Alcotest.test_case "json writer escaping" `Quick test_json_writer;
+  ]
