@@ -394,6 +394,48 @@ let dimensions_ablation () =
   print_string (Table.render tbl)
 
 (* ------------------------------------------------------------------ *)
+(* Synthetic workload (extension: no application structure at all)      *)
+(* ------------------------------------------------------------------ *)
+
+module Workload = Diva_workload
+
+let workload_strategies =
+  [ ("fixed-home", Dsm.Fixed_home); ("4-ary", Dsm.access_tree ~arity:4 ()) ]
+
+let workload_skews = [ 0.0; 0.6; 0.9; 1.2 ]
+
+let workload_spec ~skew =
+  Workload.Spec.make ~num_vars:256 ~var_size:64
+    ~popularity:(if skew = 0.0 then Workload.Spec.Uniform else Workload.Spec.Zipf skew)
+    ~phases:[ Workload.Spec.phase ~read_ratio:0.9 200 ]
+    ~seed:1 ()
+
+let workload_run ~dims ~skew strategy =
+  Workload.Generator.run ~dims ~strategy (workload_spec ~skew)
+
+let workload_zipf () =
+  banner "Workload: Zipf skew sweep, 8x8 mesh, 200 ops/proc, 90% reads";
+  let rows =
+    List.map
+      (fun skew ->
+        ( Printf.sprintf "%.1f" skew,
+          List.map
+            (fun (sn, s) ->
+              let r = workload_run ~dims:[| 8; 8 |] ~skew s in
+              ( sn,
+                ( r.Workload.Generator.measurements,
+                  Workload.Latency.quad r.Workload.Generator.latency ) ))
+            workload_strategies ))
+      workload_skews
+  in
+  print_string
+    (Report.workload_table
+       ~title:
+         "(access trees keep congestion flat as skew concentrates load on\n\
+          \ few keys; fixed home degrades at the hot keys' home nodes)"
+       ~param:"zipf" ~rows)
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable perf trajectory (BENCH_diva.json)                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -455,6 +497,22 @@ let bench_json () =
                strategies) ))
       [ 8 ]
   in
+  let workload =
+    List.map
+      (fun skew ->
+        ( Printf.sprintf "zipf-%.1f" skew,
+          Obj
+            (List.map
+               (fun (sn, s) ->
+                 let r = workload_run ~dims:[| 8; 8 |] ~skew s in
+                 ( sn,
+                   Obj
+                     (Runner.measurement_fields r.Workload.Generator.measurements
+                     @ Workload.Latency.to_fields r.Workload.Generator.latency)
+                 ))
+               workload_strategies) ))
+      workload_skews
+  in
   let doc =
     Obj
       [
@@ -466,6 +524,7 @@ let bench_json () =
               ("matmul", Obj matmul);
               ("bitonic", Obj bitonic);
               ("barnes-hut", Obj nbody);
+              ("workload", Obj workload);
             ] );
       ]
   in
@@ -504,12 +563,12 @@ let micro () =
   let heap =
     Test.make ~name:"event queue insert+pop x100"
       (Staged.stage (fun () ->
-           let h = Diva_util.Pairing_heap.create () in
+           let h = Diva_util.Event_queue.create () in
            for i = 0 to 99 do
-             Diva_util.Pairing_heap.insert h (float_of_int (i * 7 mod 13)) i
+             Diva_util.Event_queue.insert h (float_of_int (i * 7 mod 13)) i
            done;
-           while not (Diva_util.Pairing_heap.is_empty h) do
-             ignore (Diva_util.Pairing_heap.pop_min h)
+           while not (Diva_util.Event_queue.is_empty h) do
+             ignore (Diva_util.Event_queue.pop_min h)
            done))
   in
   let small_sim =
@@ -564,6 +623,7 @@ let () =
       ("remapping", remapping_ablation);
       ("replacement", replacement_ablation);
       ("dimensions", dimensions_ablation);
+      ("workload_zipf", workload_zipf);
       ("bench_json", bench_json);
     ]
   in

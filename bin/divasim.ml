@@ -15,6 +15,7 @@ module Dsm = Diva_core.Dsm
 module Runner = Diva_harness.Runner
 module Barnes_hut = Diva_apps.Barnes_hut
 module Embedding = Diva_mesh.Embedding
+module Workload = Diva_workload
 open Cmdliner
 
 let parse_mesh s =
@@ -103,6 +104,7 @@ type obs_opts = {
   trace_file : string option;
   metrics_file : string option;
   manifest_file : string option;
+  record_file : string option;
   sample_us : float;
 }
 
@@ -150,10 +152,20 @@ let obs_opts_t =
       & info [ "sample-interval" ] ~docv:"US"
           ~doc:"Metrics sampling interval in simulated microseconds.")
   in
-  let mk trace_file metrics_file manifest_file sample_us =
-    { trace_file; metrics_file; manifest_file; sample_us }
+  let record =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:
+            "Record the run's DSM access stream as a replayable JSONL trace \
+             (see docs/WORKLOAD.md). Feed it back with $(b,divasim workload \
+             --replay FILE).")
   in
-  Term.(const mk $ trace $ metrics $ manifest $ sample)
+  let mk trace_file metrics_file manifest_file record_file sample_us =
+    { trace_file; metrics_file; manifest_file; record_file; sample_us }
+  in
+  Term.(const mk $ trace $ metrics $ manifest $ record $ sample)
 
 (* Fail on an unwritable artifact destination before the (possibly long)
    simulation runs, not after. *)
@@ -169,15 +181,16 @@ let preflight oo =
   in
   check oo.trace_file;
   check oo.metrics_file;
-  check oo.manifest_file
+  check oo.manifest_file;
+  check oo.record_file
 
 let make_obs oo =
   preflight oo;
   {
     Runner.obs_trace =
-      (match oo.trace_file with
-      | Some _ -> Diva_obs.Trace.create ()
-      | None -> Diva_obs.Trace.null);
+      (match (oo.trace_file, oo.record_file) with
+      | None, None -> Diva_obs.Trace.null
+      | _ -> Diva_obs.Trace.create ());
     obs_metrics =
       (match oo.metrics_file with
       | Some _ -> Some (Diva_obs.Metrics.create ())
@@ -212,10 +225,22 @@ let write_artifacts oo (obs : Runner.obs) ~app ~dims ~strategy ~seed ~params
         Printf.printf "metrics  -> %s (%d samples)\n" path
           (Diva_obs.Metrics.num_rows m)
     | _ -> ());
-    match oo.manifest_file with
+    (match oo.manifest_file with
     | Some path ->
         Diva_obs.Json.to_file path (manifest ());
         Printf.printf "manifest -> %s\n" path
+    | None -> ());
+    match oo.record_file with
+    | Some path ->
+        let t =
+          Workload.Dsm_trace.of_events ~dims ~seed
+            ~meta:[ ("app", app); ("strategy", strategy) ]
+            (Diva_obs.Trace.events obs.Runner.obs_trace)
+        in
+        Workload.Dsm_trace.write path t;
+        Printf.printf "record   -> %s (%d ops, %d vars)\n" path
+          (List.length t.Workload.Dsm_trace.ops)
+          (List.length t.Workload.Dsm_trace.decls)
     | None -> ()
   with Sys_error e ->
     Printf.eprintf "divasim: %s\n" e;
@@ -344,7 +369,314 @@ let nbody_cmd =
       const run $ mesh_t $ strategy_t $ bodies $ steps $ theta $ phases
       $ seed_t $ heatmap_t $ obs_opts_t)
 
+(* ------------------------------------------------------------------ *)
+(* Workload engine                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* All workload arguments are validated up front by their converters, so a
+   bad invocation fails with a usage error before any simulation runs. *)
+
+let zipf_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when Float.is_finite f && f >= 0.0 -> Ok f
+    | _ ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "Zipf exponent must be a finite number >= 0 (got %S); 0 is \
+                 uniform, 0.9-1.2 models web-like skew" s))
+  in
+  Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%g" f)
+
+let ratio_conv ~what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when Float.is_finite f && f >= 0.0 && f <= 1.0 -> Ok f
+    | _ ->
+        Error
+          (`Msg
+             (Printf.sprintf "%s must be a number in [0,1] (got %S)" what s))
+  in
+  Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%g" f)
+
+let hot_cold_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ f; w ] -> (
+        match (float_of_string_opt f, float_of_string_opt w) with
+        | Some f, Some w when f > 0.0 && f < 1.0 && w > 0.0 && w < 1.0 ->
+            Ok (f, w)
+        | _ ->
+            Error
+              (`Msg
+                 "hot-cold is FRACTION:WEIGHT, both strictly between 0 and 1 \
+                  (e.g. 0.1:0.9 = 10% of keys get 90% of accesses)"))
+    | _ -> Error (`Msg "hot-cold is FRACTION:WEIGHT, e.g. 0.1:0.9")
+  in
+  Arg.conv (parse, fun ppf (f, w) -> Format.fprintf ppf "%g:%g" f w)
+
+let locality_conv =
+  let parse s =
+    match String.lowercase_ascii (String.trim s) with
+    | "global" -> Ok Workload.Spec.Global
+    | "local" | "proc-local" -> Ok Workload.Spec.Proc_local
+    | s -> (
+        match String.split_on_char ':' s with
+        | [ "submesh"; r ] -> (
+            match int_of_string_opt r with
+            | Some r when r >= 1 -> Ok (Workload.Spec.Submesh r)
+            | _ -> Error (`Msg "submesh radius must be an integer >= 1"))
+        | _ ->
+            Error
+              (`Msg "locality is one of: global, local, submesh:RADIUS"))
+  in
+  Arg.conv
+    (parse, fun ppf l -> Format.fprintf ppf "%s" (Workload.Spec.locality_name l))
+
+let burst_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ n; gap ] -> (
+        match (int_of_string_opt n, float_of_string_opt gap) with
+        | Some n, Some gap when n >= 1 && Float.is_finite gap && gap >= 0.0 ->
+            Ok (n, gap)
+        | _ -> Error (`Msg "burst is OPS:GAP_US with OPS >= 1 and GAP_US >= 0"))
+    | _ -> Error (`Msg "burst is OPS:GAP_US, e.g. 20:500")
+  in
+  Arg.conv (parse, fun ppf (n, g) -> Format.fprintf ppf "%d:%g" n g)
+
+(* Existence and header (format + version) are checked at argument-parse
+   time via {!Workload.Dsm_trace.probe}; the body parses after. *)
+let replay_conv =
+  let parse s =
+    match Workload.Dsm_trace.probe s with
+    | Ok () -> Ok s
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun ppf s -> Format.fprintf ppf "%s" s)
+
+let print_workload_result name (r : Workload.Generator.result) =
+  Printf.printf "-- %s --\n" name;
+  print_measurements r.Workload.Generator.measurements;
+  print_string (Workload.Latency.render r.Workload.Generator.latency)
+
+let require_dsm_strategy = function
+  | Runner.Strategy s -> s
+  | Runner.Hand_optimized ->
+      failwith "the workload engine drives the DSM: pick a DSM strategy"
+
+let workload_cmd =
+  let vars =
+    Arg.(
+      value & opt int 256
+      & info [ "vars" ] ~docv:"N" ~doc:"Shared-variable key space size.")
+  in
+  let var_size =
+    Arg.(
+      value & opt int 64
+      & info [ "var-size" ] ~docv:"BYTES" ~doc:"Payload bytes per variable.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 200
+      & info [ "ops" ] ~docv:"N" ~doc:"Data operations per processor.")
+  in
+  let zipf =
+    Arg.(
+      value
+      & opt (some zipf_conv) None
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:
+            "Zipfian popularity with exponent $(docv) >= 0 (0 = uniform). \
+             Mutually exclusive with $(b,--hot-cold).")
+  in
+  let hot_cold =
+    Arg.(
+      value
+      & opt (some hot_cold_conv) None
+      & info [ "hot-cold" ] ~docv:"FRAC:WEIGHT"
+          ~doc:
+            "Hot/cold popularity: the first $(i,FRAC) of the key space draws \
+             $(i,WEIGHT) of all accesses (e.g. 0.1:0.9).")
+  in
+  let read_ratio =
+    Arg.(
+      value
+      & opt (ratio_conv ~what:"read ratio") 0.9
+      & info [ "read-ratio" ] ~docv:"R"
+          ~doc:"Fraction of data operations that are reads, in [0,1].")
+  in
+  let locality =
+    Arg.(
+      value
+      & opt locality_conv Workload.Spec.Global
+      & info [ "locality" ] ~docv:"L"
+          ~doc:
+            "Key choice locality: $(b,global), $(b,local) (processor-local \
+             keys only), or $(b,submesh:RADIUS) (keys homed within the given \
+             Manhattan radius).")
+  in
+  let lock_every =
+    Arg.(
+      value & opt int 0
+      & info [ "lock-every" ] ~docv:"N"
+          ~doc:"Run every $(docv)-th data op under the key's lock (0 = never).")
+  in
+  let barrier_every =
+    Arg.(
+      value & opt int 0
+      & info [ "barrier-every" ] ~docv:"N"
+          ~doc:"Global barrier after every $(docv)-th op (0 = phase ends only).")
+  in
+  let think =
+    Arg.(
+      value & opt float 0.0
+      & info [ "think" ] ~docv:"US"
+          ~doc:"Local computation after each op, simulated microseconds.")
+  in
+  let burst =
+    Arg.(
+      value
+      & opt (some burst_conv) None
+      & info [ "burst" ] ~docv:"OPS:GAP_US"
+          ~doc:
+            "Bursty arrivals: pause $(i,GAP_US) microseconds after every \
+             $(i,OPS)-th operation.")
+  in
+  let phases =
+    Arg.(
+      value & opt int 1
+      & info [ "workload-phases" ] ~docv:"N"
+          ~doc:"Repeat the load as $(docv) barrier-separated phases.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some replay_conv) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Instead of generating load, replay the recorded DSM trace \
+             $(docv) (produced by $(b,--record)) against the chosen strategy \
+             and seed. Generator options are ignored.")
+  in
+  let replay_mode =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("closed", Workload.Replay.Closed_loop);
+               ("open", Workload.Replay.Open_loop) ])
+          Workload.Replay.Closed_loop
+      & info [ "replay-mode" ] ~docv:"MODE"
+          ~doc:
+            "$(b,closed): issue each op as soon as the previous completes; \
+             $(b,open): re-insert the recorded inter-op gaps.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI smoke: run a small fixed workload on a 4x4 mesh under both \
+             the fixed-home and 4-ary strategies and print both reports.")
+  in
+  let run dims strategy vars var_size ops zipf hot_cold read_ratio locality
+      lock_every barrier_every think burst phases replay replay_mode smoke seed
+      heatmap oo =
+    let popularity =
+      match (zipf, hot_cold) with
+      | Some _, Some _ ->
+          failwith "--zipf and --hot-cold are mutually exclusive"
+      | Some s, None -> Workload.Spec.Zipf s
+      | None, Some (hot_fraction, hot_weight) ->
+          Workload.Spec.Hot_cold { hot_fraction; hot_weight }
+      | None, None -> Workload.Spec.Uniform
+    in
+    let spec =
+      Workload.Spec.make ~num_vars:vars ~var_size ~popularity ~locality
+        ~lock_every ~barrier_every
+        ~phases:
+          (List.init (max 1 phases) (fun _ ->
+               Workload.Spec.phase ~read_ratio ~think ?burst ops))
+        ~seed ()
+    in
+    (match Workload.Spec.validate spec with
+    | Ok () -> ()
+    | Error e -> failwith e);
+    let obs = make_obs oo in
+    if smoke then (
+      let dims = [| 4; 4 |] in
+      let spec =
+        { spec with Workload.Spec.num_vars = min vars 64;
+          phases = [ Workload.Spec.phase ~read_ratio 100 ] }
+      in
+      Printf.printf "workload smoke: 4x4 mesh, %d keys, %d ops/proc\n"
+        spec.Workload.Spec.num_vars 100;
+      List.iter
+        (fun (name, strategy) ->
+          print_workload_result name
+            (Workload.Generator.run ~dims ~strategy spec))
+        [ ("fixed-home", Dsm.Fixed_home);
+          ("4-ary", Dsm.access_tree ~arity:4 ()) ])
+    else
+      match replay with
+      | Some path ->
+          let tr =
+            match Workload.Dsm_trace.read path with
+            | Ok t -> t
+            | Error e -> failwith e
+          in
+          let strategy = require_dsm_strategy strategy in
+          let r =
+            Workload.Replay.run ~obs ?on_net:(on_net_of heatmap) ~seed
+              ~mode:replay_mode ~strategy tr
+          in
+          Printf.printf "replay %s (%s, %d ops on %s), strategy %s\n" path
+            (Workload.Replay.mode_name replay_mode)
+            (List.length tr.Workload.Dsm_trace.ops)
+            (String.concat "x"
+               (List.map string_of_int (Array.to_list tr.Workload.Dsm_trace.dims)))
+            (Dsm.strategy_name strategy);
+          print_measurements r.Workload.Generator.measurements;
+          print_string (Workload.Latency.render r.Workload.Generator.latency);
+          write_artifacts oo obs ~app:"workload-replay"
+            ~dims:tr.Workload.Dsm_trace.dims ~strategy:(Dsm.strategy_name strategy)
+            ~seed
+            ~params:[ ("replay", Diva_obs.Json.String path) ]
+            ~measurements:
+              (Runner.measurement_fields r.Workload.Generator.measurements
+              @ Workload.Latency.to_fields r.Workload.Generator.latency)
+      | None ->
+          let strategy = require_dsm_strategy strategy in
+          let r =
+            Workload.Generator.run ~obs ?on_net:(on_net_of heatmap) ~dims
+              ~strategy spec
+          in
+          Printf.printf "workload %s, strategy %s, %s popularity, %s locality\n"
+            (String.concat "x" (List.map string_of_int (Array.to_list dims)))
+            (Dsm.strategy_name strategy)
+            (Workload.Spec.popularity_name spec.Workload.Spec.popularity)
+            (Workload.Spec.locality_name spec.Workload.Spec.locality);
+          print_measurements r.Workload.Generator.measurements;
+          print_string (Workload.Latency.render r.Workload.Generator.latency);
+          write_artifacts oo obs ~app:"workload" ~dims
+            ~strategy:(Dsm.strategy_name strategy) ~seed
+            ~params:(Workload.Spec.to_params spec)
+            ~measurements:
+              (Runner.measurement_fields r.Workload.Generator.measurements
+              @ Workload.Latency.to_fields r.Workload.Generator.latency)
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Synthetic DSM load generator and trace replay")
+    Term.(
+      const run $ mesh_t $ strategy_t $ vars $ var_size $ ops $ zipf $ hot_cold
+      $ read_ratio $ locality $ lock_every $ barrier_every $ think $ burst
+      $ phases $ replay $ replay_mode $ smoke $ seed_t $ heatmap_t $ obs_opts_t)
+
 let () =
   let doc = "DIVA: simulated data management in mesh networks (SPAA'99)" in
   let info = Cmd.info "divasim" ~doc in
-  exit (Cmd.eval (Cmd.group info [ matmul_cmd; bitonic_cmd; nbody_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ matmul_cmd; bitonic_cmd; nbody_cmd; workload_cmd ]))

@@ -113,21 +113,28 @@ let create_var t ?name ~owner ~size init =
       value = inj init;
     }
   in
+  let tr = Network.trace t.network in
+  if Trace.enabled tr then
+    Trace.emit tr
+      (Trace.Var_decl
+         { ts = Network.now t.network; var = id; var_name = name; size; owner });
   { v; inj; proj }
 
 (* One shared-memory operation span: [ts] is the issue time, [dur] the
    fiber's blocking latency (0 for hits). Emission happens after the
    operation completes, so the event never interleaves with the protocol. *)
-let trace_op t p (v : Types.var option) op ~t0 ~hit =
+let trace_op ?(size = -1) t p (v : Types.var option) op ~t0 ~hit =
   let tr = Network.trace t.network in
   if Trace.enabled tr then
-    let var, var_name =
-      match v with Some v -> (v.Types.id, v.Types.name) | None -> (-1, "")
+    let var, var_name, size =
+      match v with
+      | Some v -> (v.Types.id, v.Types.name, v.Types.data_size)
+      | None -> (-1, "", max 0 size)
     in
     Trace.emit tr
       (Trace.Dsm_access
          { ts = t0; dur = Network.now t.network -. t0; node = p; var;
-           var_name; op; hit })
+           var_name; op; size; hit })
 
 let read t p var =
   t.n_reads <- t.n_reads + 1;
@@ -203,15 +210,15 @@ let barrier t p =
   Network.suspend (fun resume -> Sync.barrier t.sync p ~k:resume);
   trace_op t p None Trace.Barrier ~t0 ~hit:false
 
-type 'a reducer = 'a Sync.reducer
+type 'a reducer = { red : 'a Sync.reducer; red_size : int }
 
-let reducer t ~combine ~size = Sync.reducer t.sync ~combine ~size
+let reducer t ~combine ~size = { red = Sync.reducer t.sync ~combine ~size; red_size = size }
 
 let reduce t p r x =
   Network.flush_charge t.network p;
   let t0 = Network.now t.network in
-  let y = Network.suspend (fun resume -> Sync.reduce t.sync r p x ~k:resume) in
-  trace_op t p None Trace.Reduce ~t0 ~hit:false;
+  let y = Network.suspend (fun resume -> Sync.reduce t.sync r.red p x ~k:resume) in
+  trace_op ~size:r.red_size t p None Trace.Reduce ~t0 ~hit:false;
   y
 
 let peek var = var.proj var.v.Types.value

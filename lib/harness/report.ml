@@ -43,6 +43,33 @@ let ratio_table ~title ~param ~congestion ~rows =
     rows;
   Printf.sprintf "%s\n%s" title (Table.render table)
 
+let workload_table ~title ~param ~rows =
+  let strat_names = match rows with (_, ss) :: _ -> List.map fst ss | [] -> [] in
+  let header =
+    param
+    :: List.concat_map
+         (fun s ->
+           [ s ^ " cong(msg)"; s ^ " time(s)"; s ^ " p50(us)"; s ^ " p99(us)" ])
+         strat_names
+  in
+  let table = Table.create ~header in
+  List.iter
+    (fun (label, strats) ->
+      let cells =
+        List.concat_map
+          (fun (_, ((m : Runner.measurements), (p50, _p95, p99, _max))) ->
+            [
+              string_of_int m.Runner.congestion_msgs;
+              Table.fstr (m.Runner.time /. 1e6);
+              Table.fstr p50;
+              Table.fstr p99;
+            ])
+          strats
+      in
+      Table.add_row table (label :: cells))
+    rows;
+  Printf.sprintf "%s\n%s" title (Table.render table)
+
 let absolute_table ~title ~param ?(extra = []) ~rows () =
   let strat_names = match rows with (_, ss) :: _ -> List.map fst ss | [] -> [] in
   let header =

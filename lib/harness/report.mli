@@ -15,6 +15,20 @@ val ratio_table :
     measurements); columns show each strategy's congestion ratio and time
     ratio versus the baseline. *)
 
+val workload_table :
+  title:string ->
+  param:string ->
+  rows:
+    (string
+    * (string * (Runner.measurements * (float * float * float * float))) list)
+    list ->
+  string
+(** Congestion, time and per-op latency (p50/p99) per strategy — the
+    format of the workload-engine sweeps. The latency quadruple is
+    (p50, p95, p99, max) in simulated microseconds; p95 and max are
+    accepted so callers can pass a full report but only p50/p99 are
+    printed (the table stays narrow). *)
+
 val absolute_table :
   title:string ->
   param:string ->

@@ -38,6 +38,25 @@ val null_obs : obs
 val measurement_fields : measurements -> (string * Diva_obs.Json.t) list
 (** All measurement fields as JSON key/values (run manifests, BENCH files). *)
 
+(** {2 Building blocks}
+
+    The pieces every runner is made of, exposed so that other drivers (the
+    workload engine's generator and trace replayer) measure runs exactly
+    the way the paper's runners do. *)
+
+val install_obs : Diva_simnet.Network.t -> obs -> unit
+(** Install the trace sink and metrics sampler on a freshly created
+    network, before any protocol layer or application state exists. *)
+
+val finish :
+  ?on_net:(Diva_simnet.Network.t -> unit) -> obs:obs -> Diva_simnet.Network.t -> unit
+(** Run the simulation to completion, take the final metrics sample, then
+    invoke [on_net]. *)
+
+val collect :
+  Diva_simnet.Network.t -> Diva_core.Dsm.t option -> measurements
+(** Snapshot the paper's measurements of a completed run. *)
+
 val run_matmul :
   ?seed:int -> ?obs:obs -> ?on_net:(Diva_simnet.Network.t -> unit) ->
   rows:int -> cols:int -> block:int -> ?compute:bool -> strategy_choice ->

@@ -56,14 +56,19 @@ let of_event ~net_pid = function
         ~name:(Printf.sprintf "%d -> %d" src dst)
         ~cat:"link" ~ts:start ~dur:(finish -. start) ~pid:net_pid ~tid:link
         [ ("size", Int size) ]
-  | Trace.Dsm_access { ts; dur; node; var; var_name; op; hit } ->
+  | Trace.Var_decl { ts; var; var_name; size; owner } ->
+      instant
+        ~name:(Printf.sprintf "decl %s" var_name)
+        ~cat:"dsm" ~ts ~pid:owner ~tid:tid_dsm
+        [ ("var", Int var); ("size", Int size) ]
+  | Trace.Dsm_access { ts; dur; node; var; var_name; op; size; hit } ->
       span
         ~name:
           (if var < 0 then op_name op
            else Printf.sprintf "%s %s%s" (op_name op) var_name
                   (if hit then " (hit)" else ""))
         ~cat:"dsm" ~ts ~dur ~pid:node ~tid:tid_dsm
-        [ ("var", Int var); ("hit", Bool hit) ]
+        [ ("var", Int var); ("size", Int size); ("hit", Bool hit) ]
   | Trace.Copy_add { ts; node; var; var_name; tnode; level } ->
       instant
         ~name:(Printf.sprintf "copy+ %s" var_name)
@@ -100,6 +105,7 @@ let to_json ?(metadata = []) ~num_nodes events =
       | Trace.Copy_add { node; _ }
       | Trace.Copy_drop { node; _ } ->
           node_used.(node) <- true
+      | Trace.Var_decl { owner; _ } -> node_used.(owner) <- true
       | Trace.Remap { from_node; _ } -> node_used.(from_node) <- true)
     sorted;
   let metas = ref [] in

@@ -21,3 +21,24 @@ val to_buffer : Buffer.t -> t -> unit
 
 val to_file : string -> t -> unit
 (** Write the document followed by a trailing newline. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (the whole string). Numbers without a
+    fractional part parse as [Int], everything else as [Float]; [\u]
+    escapes decode to UTF-8. Intended for reading back the artifacts this
+    module writes (e.g. workload trace files), not as a general-purpose
+    JSON parser. *)
+
+(** {2 Accessors} (total: [None] on a type mismatch) *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing keys and non-objects. *)
+
+val to_int : t -> int option
+(** Also accepts integral floats (the writer prints [2.0] as [2]). *)
+
+val to_float : t -> float option
+(** Accepts [Int] too. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option

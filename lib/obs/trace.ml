@@ -13,6 +13,13 @@ type event =
       dst : int;
       size : int;
     }
+  | Var_decl of {
+      ts : float;
+      var : int;
+      var_name : string;
+      size : int;
+      owner : int;
+    }
   | Dsm_access of {
       ts : float;
       dur : float;
@@ -20,6 +27,7 @@ type event =
       var : int;
       var_name : string;
       op : dsm_op;
+      size : int;
       hit : bool;
     }
   | Copy_add of {
@@ -53,6 +61,7 @@ let timestamp = function
   | Msg_send { ts; _ } -> ts
   | Msg_deliver { ts; _ } -> ts
   | Link_xfer { start; _ } -> start
+  | Var_decl { ts; _ } -> ts
   | Dsm_access { ts; _ } -> ts
   | Copy_add { ts; _ } -> ts
   | Copy_drop { ts; _ } -> ts

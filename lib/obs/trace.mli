@@ -36,6 +36,16 @@ type event =
       (** One directed link was occupied by the message for
           [start, finish). Exactly one event per link crossing — per-link
           aggregation of these reproduces {!Diva_simnet.Link_stats}. *)
+  | Var_decl of {
+      ts : float;
+      var : int;
+      var_name : string;
+      size : int;  (** payload size in bytes *)
+      owner : int;  (** processor holding the initial (only) copy *)
+    }
+      (** A global variable was declared ([Dsm.create_var]). Together with
+          {!Dsm_access} this makes the event stream a complete, replayable
+          record of a run's shared-memory behaviour. *)
   | Dsm_access of {
       ts : float;
       dur : float;
@@ -43,6 +53,9 @@ type event =
       var : int;  (** variable id; [-1] for variable-less ops (barriers) *)
       var_name : string;
       op : dsm_op;
+      size : int;
+          (** payload size in bytes: the variable's size for data ops, the
+              reducer's wire size for {!Reduce}, 0 for {!Barrier} *)
       hit : bool;  (** completed from the local copy, no transaction *)
     }
       (** One shared-memory operation issued by [node]'s fiber: [ts] is the

@@ -1,4 +1,4 @@
-module Heap = Diva_util.Pairing_heap
+module Heap = Diva_util.Event_queue
 
 type t = {
   queue : (unit -> unit) Heap.t;

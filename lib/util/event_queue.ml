@@ -1,0 +1,74 @@
+(* Binary min-heap over (priority, sequence number) pairs — the simulator's
+   event queue. The sequence number breaks ties FIFO and makes the order
+   total, hence deterministic. *)
+
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+let is_empty h = h.len = 0
+let size h = h.len
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow h =
+  let cap = max 16 (2 * Array.length h.data) in
+  let data = Array.make cap h.data.(0) in
+  Array.blit h.data 0 data 0 h.len;
+  h.data <- data
+
+let insert h prio value =
+  let e = { prio; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  if h.len = Array.length h.data then
+    if h.len = 0 then h.data <- Array.make 16 e else grow h;
+  h.data.(h.len) <- e;
+  h.len <- h.len + 1;
+  (* sift up *)
+  let i = ref (h.len - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    less h.data.(!i) h.data.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = h.data.(p) in
+    h.data.(p) <- h.data.(!i);
+    h.data.(!i) <- tmp;
+    i := p
+  done
+
+let pop_min h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && less h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.len && less h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.data.(!smallest) in
+          h.data.(!smallest) <- h.data.(!i);
+          h.data.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.prio, top.value)
+  end
+
+let min_priority h = if h.len = 0 then None else Some h.data.(0).prio

@@ -1,0 +1,21 @@
+(** Min-priority queue with [float] priorities, used as the simulator's event
+    queue. Implemented as a binary min-heap. Insertion order among equal
+    priorities is preserved (FIFO), which makes simulation runs
+    deterministic.
+
+    This module was historically named [Pairing_heap], which misdescribed
+    the data structure; {!Pairing_heap} remains as a deprecated alias. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val insert : 'a t -> float -> 'a -> unit
+(** [insert h prio x] adds [x] with priority [prio]. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-priority element; FIFO among ties. *)
+
+val min_priority : 'a t -> float option

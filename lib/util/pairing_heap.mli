@@ -1,17 +1,8 @@
-(** Min-priority queue with [float] priorities, used as the simulator's event
-    queue. Insertion order among equal priorities is preserved (FIFO), which
-    makes simulation runs deterministic. *)
+(** Deprecated alias of {!Event_queue}, kept for source compatibility. The
+    module never implemented a pairing heap — it has always been a binary
+    min-heap — so it was renamed to what it is. New code should use
+    {!Event_queue}. *)
 
-type 'a t
-
-val create : unit -> 'a t
-val is_empty : 'a t -> bool
-val size : 'a t -> int
-
-val insert : 'a t -> float -> 'a -> unit
-(** [insert h prio x] adds [x] with priority [prio]. *)
-
-val pop_min : 'a t -> (float * 'a) option
-(** Removes and returns the minimum-priority element; FIFO among ties. *)
-
-val min_priority : 'a t -> float option
+include module type of struct
+  include Event_queue
+end

@@ -8,6 +8,17 @@ let percent num den = if den = 0.0 then 0.0 else 100.0 *. num /. den
 let ratio num den = if den = 0.0 then 0.0 else num /. den
 let log2 x = Float.log x /. Float.log 2.0
 
+let percentile p a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let s = Array.copy a in
+    Array.sort Float.compare s;
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+    s.(max 0 (min (n - 1) (rank - 1)))
+  end
+
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
 let ilog2 n =

@@ -10,6 +10,13 @@ val percent : float -> float -> float
 val ratio : float -> float -> float
 (** [ratio num den] is [num / den] (0 if [den] = 0). *)
 
+val percentile : float -> float array -> float
+(** [percentile p a] is the nearest-rank [p]-th percentile of [a] for
+    [p] in \[0, 100\], computed on a sorted copy ([a] is not modified):
+    the smallest element of [a] that is >= [p]% of the sample. [p] is
+    clamped to \[0, 100\]; [percentile 0.] is the minimum, [percentile 100.]
+    the maximum, and the result on an empty array is 0. *)
+
 val log2 : float -> float
 
 val is_power_of_two : int -> bool

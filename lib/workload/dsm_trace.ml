@@ -1,0 +1,247 @@
+module Trace = Diva_obs.Trace
+module Json = Diva_obs.Json
+
+type decl = { d_var : int; d_name : string; d_size : int; d_owner : int }
+
+type op = {
+  o_proc : int;
+  o_op : Trace.dsm_op;
+  o_var : int;
+  o_size : int;
+  o_ts : float;
+  o_dur : float;
+  o_hit : bool;
+}
+
+type t = {
+  version : int;
+  dims : int array;
+  seed : int;
+  meta : (string * string) list;
+  decls : decl list;
+  ops : op list;
+}
+
+let current_version = 1
+let format_name = "diva-dsm-trace"
+
+let of_events ~dims ~seed ?(meta = []) events =
+  let decls = ref [] and ops = ref [] in
+  List.iter
+    (function
+      | Trace.Var_decl { var; var_name; size; owner; _ } ->
+          decls := { d_var = var; d_name = var_name; d_size = size; d_owner = owner } :: !decls
+      | Trace.Dsm_access { ts; dur; node; var; op; size; hit; _ } ->
+          ops :=
+            { o_proc = node; o_op = op; o_var = var; o_size = size; o_ts = ts;
+              o_dur = dur; o_hit = hit }
+            :: !ops
+      | _ -> ())
+    events;
+  {
+    version = current_version;
+    dims = Array.copy dims;
+    seed;
+    meta;
+    decls = List.sort (fun a b -> compare a.d_var b.d_var) (List.rev !decls);
+    ops = List.rev !ops;
+  }
+
+let num_procs t = Array.fold_left ( * ) 1 t.dims
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let op_code = function
+  | Trace.Read -> "r"
+  | Trace.Write -> "w"
+  | Trace.Lock -> "l"
+  | Trace.Unlock -> "u"
+  | Trace.Barrier -> "b"
+  | Trace.Reduce -> "x"
+
+let op_of_code = function
+  | "r" -> Some Trace.Read
+  | "w" -> Some Trace.Write
+  | "l" -> Some Trace.Lock
+  | "u" -> Some Trace.Unlock
+  | "b" -> Some Trace.Barrier
+  | "x" -> Some Trace.Reduce
+  | _ -> None
+
+let header_json t =
+  let open Json in
+  Obj
+    [
+      ("format", String format_name);
+      ("version", Int t.version);
+      ("dims", List (List.map (fun d -> Int d) (Array.to_list t.dims)));
+      ("seed", Int t.seed);
+      ("meta", Obj (List.map (fun (k, v) -> (k, String v)) t.meta));
+    ]
+
+let decl_json d =
+  let open Json in
+  Obj
+    [
+      ("decl", Int d.d_var);
+      ("name", String d.d_name);
+      ("size", Int d.d_size);
+      ("owner", Int d.d_owner);
+    ]
+
+let op_json o =
+  let open Json in
+  Obj
+    [
+      ("p", Int o.o_proc);
+      ("op", String (op_code o.o_op));
+      ("v", Int o.o_var);
+      ("sz", Int o.o_size);
+      ("ts", Float o.o_ts);
+      ("dur", Float o.o_dur);
+      ("hit", Bool o.o_hit);
+    ]
+
+let to_string t =
+  let b = Buffer.create 4096 in
+  let line j =
+    Json.to_buffer b j;
+    Buffer.add_char b '\n'
+  in
+  line (header_json t);
+  List.iter (fun d -> line (decl_json d)) t.decls;
+  List.iter (fun o -> line (op_json o)) t.ops;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let field ~what ~key conv j =
+  match Option.bind (Json.member key j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing or malformed %S field" what key)
+
+let parse_header line =
+  let* j =
+    Result.map_error (fun e -> "header: " ^ e) (Json.of_string line)
+  in
+  let* fmt = field ~what:"header" ~key:"format" Json.to_str j in
+  if fmt <> format_name then
+    Error (Printf.sprintf "not a DSM trace (format %S, expected %S)" fmt format_name)
+  else
+    let* version = field ~what:"header" ~key:"version" Json.to_int j in
+    if version < 1 || version > current_version then
+      Error
+        (Printf.sprintf
+           "unsupported trace version %d (this build supports 1..%d)" version
+           current_version)
+    else
+      let* dims =
+        match Json.member "dims" j with
+        | Some (Json.List ds) ->
+            let ints = List.filter_map Json.to_int ds in
+            if List.length ints = List.length ds && ints <> [] then
+              Ok (Array.of_list ints)
+            else Error "header: malformed \"dims\""
+        | _ -> Error "header: missing \"dims\""
+      in
+      let* seed = field ~what:"header" ~key:"seed" Json.to_int j in
+      let meta =
+        match Json.member "meta" j with
+        | Some (Json.Obj kvs) ->
+            List.filter_map
+              (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_str v))
+              kvs
+        | _ -> []
+      in
+      Ok { version; dims; seed; meta; decls = []; ops = [] }
+
+let parse_body_line ~lineno line =
+  let what = Printf.sprintf "line %d" lineno in
+  let* j = Result.map_error (fun e -> what ^ ": " ^ e) (Json.of_string line) in
+  match Json.member "decl" j with
+  | Some _ ->
+      let* d_var = field ~what ~key:"decl" Json.to_int j in
+      let* d_name = field ~what ~key:"name" Json.to_str j in
+      let* d_size = field ~what ~key:"size" Json.to_int j in
+      let* d_owner = field ~what ~key:"owner" Json.to_int j in
+      Ok (`Decl { d_var; d_name; d_size; d_owner })
+  | None ->
+      let* o_proc = field ~what ~key:"p" Json.to_int j in
+      let* code = field ~what ~key:"op" Json.to_str j in
+      let* o_op =
+        match op_of_code code with
+        | Some op -> Ok op
+        | None -> Error (Printf.sprintf "%s: unknown op code %S" what code)
+      in
+      let* o_var = field ~what ~key:"v" Json.to_int j in
+      let* o_size = field ~what ~key:"sz" Json.to_int j in
+      let* o_ts = field ~what ~key:"ts" Json.to_float j in
+      let* o_dur = field ~what ~key:"dur" Json.to_float j in
+      let* o_hit = field ~what ~key:"hit" Json.to_bool j in
+      Ok (`Op { o_proc; o_op; o_var; o_size; o_ts; o_dur; o_hit })
+
+let of_string s =
+  let lines =
+    List.filteri
+      (fun _ l -> String.trim l <> "")
+      (String.split_on_char '\n' s)
+  in
+  match lines with
+  | [] -> Error "empty trace file"
+  | header :: body ->
+      let* t = parse_header header in
+      let rec go lineno decls ops = function
+        | [] -> Ok { t with decls = List.rev decls; ops = List.rev ops }
+        | line :: rest -> (
+            let* item = parse_body_line ~lineno line in
+            match item with
+            | `Decl d -> go (lineno + 1) (d :: decls) ops rest
+            | `Op o -> go (lineno + 1) decls (o :: ops) rest)
+      in
+      go 2 [] [] body
+
+let write path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let read_file path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "%s: no such file" path)
+  else
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error e -> Error e
+
+let read path =
+  let* s = read_file path in
+  Result.map_error (fun e -> Printf.sprintf "%s: %s" path e) (of_string s)
+
+let probe path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "%s: no such file" path)
+  else
+    match
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> try Some (input_line ic) with End_of_file -> None)
+    with
+    | exception Sys_error e -> Error e
+    | None -> Error (Printf.sprintf "%s: empty trace file" path)
+    | Some header ->
+        Result.map
+          (fun (_ : t) -> ())
+          (Result.map_error
+             (fun e -> Printf.sprintf "%s: %s" path e)
+             (parse_header header))

@@ -1,0 +1,69 @@
+(** Compact, versioned JSONL record of one run's DSM access stream,
+    buildable from any traced run (synthetic or real application) via the
+    {!Diva_obs.Trace} sink, and replayable by {!Replay} against a
+    different strategy, mesh embedding, or — open loop — the same timing.
+
+    File layout (one JSON document per line):
+    - line 1, the header:
+      [{"format":"diva-dsm-trace","version":1,"dims":[4,4],"seed":17,
+        "meta":{"app":"matmul", ...}}]
+    - variable declarations, in creation order:
+      [{"decl":0,"name":"A[0,0]","size":1024,"owner":0}]
+    - operations, in completion order (per-processor program order):
+      [{"p":3,"op":"r","v":7,"sz":1024,"ts":123.0,"dur":4.5,"hit":false}]
+      where [op] is one of [r w l u b x] (read, write, lock, unlock,
+      barrier, reduce) and [v] is [-1] for variable-less ops.
+
+    Unknown header fields are ignored; a higher [version] is rejected, so
+    the format can grow compatibly. *)
+
+type decl = { d_var : int; d_name : string; d_size : int; d_owner : int }
+
+type op = {
+  o_proc : int;
+  o_op : Diva_obs.Trace.dsm_op;
+  o_var : int;  (** [-1] for barrier / reduce *)
+  o_size : int;
+  o_ts : float;  (** issue time, simulated microseconds *)
+  o_dur : float;  (** blocking latency *)
+  o_hit : bool;
+}
+
+type t = {
+  version : int;
+  dims : int array;
+  seed : int;  (** network seed of the recorded run *)
+  meta : (string * string) list;  (** free-form provenance (app, strategy) *)
+  decls : decl list;  (** in variable-id (creation) order *)
+  ops : op list;  (** in completion order *)
+}
+
+val current_version : int
+
+val of_events :
+  dims:int array ->
+  seed:int ->
+  ?meta:(string * string) list ->
+  Diva_obs.Trace.event list ->
+  t
+(** Project the DSM events ({!Diva_obs.Trace.Var_decl} and
+    {!Diva_obs.Trace.Dsm_access}) out of a trace-event stream. *)
+
+val num_procs : t -> int
+
+val to_string : t -> string
+(** The JSONL text (ends with a newline). *)
+
+val of_string : string -> (t, string) result
+
+val write : string -> t -> unit
+
+val read : string -> (t, string) result
+(** [Error] covers unreadable files, malformed JSON, a missing or foreign
+    header, and unsupported versions — each with a message naming the
+    offending line. *)
+
+val probe : string -> (unit, string) result
+(** Cheap preflight used by the CLI: checks that the file exists and its
+    header line declares a supported format and version, without parsing
+    the body. *)

@@ -1,0 +1,79 @@
+module Network = Diva_simnet.Network
+module Dsm = Diva_core.Dsm
+module Runner = Diva_harness.Runner
+module Prng = Diva_util.Prng
+
+type result = {
+  measurements : Runner.measurements;
+  latency : Latency.t;
+}
+
+(* Growing sample buffer shared by all fibers (cooperative scheduling: no
+   concurrency, just unknown completion interleaving). *)
+type samples = { mutable buf : float array; mutable n : int }
+
+let add_sample s x =
+  if s.n = Array.length s.buf then begin
+    let buf = Array.make (max 1024 (2 * Array.length s.buf)) 0.0 in
+    Array.blit s.buf 0 buf 0 s.n;
+    s.buf <- buf
+  end;
+  s.buf.(s.n) <- x;
+  s.n <- s.n + 1
+
+let proc_rng spec p =
+  Prng.create ~seed:(Int64.to_int (Prng.hash2 (Int64.of_int Spec.(spec.seed)) (p + 1)))
+
+let fiber net dsm spec sampler vars samples p =
+  let rng = proc_rng spec p in
+  List.iter
+    (fun (ph : Spec.phase) ->
+      for i = 1 to ph.Spec.ops do
+        let v = vars.(Sampler.draw sampler ~proc:p rng) in
+        let locked = Spec.(spec.lock_every) > 0 && i mod Spec.(spec.lock_every) = 0 in
+        let is_read = Prng.float rng 1.0 < ph.Spec.read_ratio in
+        let t0 = Network.now net in
+        if locked then Dsm.lock dsm p v;
+        if is_read then ignore (Dsm.read dsm p v : int)
+        else Dsm.write dsm p v (Prng.int rng 1_000_000);
+        if locked then Dsm.unlock dsm p v;
+        add_sample samples (Network.now net -. t0);
+        if Spec.(spec.barrier_every) > 0 && i mod Spec.(spec.barrier_every) = 0
+        then Dsm.barrier dsm p;
+        if ph.Spec.think > 0.0 then Network.compute net p ph.Spec.think;
+        match ph.Spec.burst with
+        | Some (n, gap) when i mod n = 0 && gap > 0.0 -> Network.compute net p gap
+        | _ -> ()
+      done;
+      Dsm.barrier dsm p)
+    Spec.(spec.phases)
+
+let run ?(obs = Runner.null_obs) ?on_net ~dims ~strategy spec =
+  (match Spec.validate spec with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Diva_workload.Generator.run: " ^ e));
+  let net = Network.create_nd ~seed:Spec.(spec.seed) ~dims () in
+  Runner.install_obs net obs;
+  let dsm = Dsm.create net ~strategy () in
+  let procs = Network.num_nodes net in
+  let sampler = Sampler.create (Network.mesh net) spec in
+  let vars =
+    Array.init Spec.(spec.num_vars) (fun k ->
+        Dsm.create_var dsm
+          ~name:(Printf.sprintf "w%d" k)
+          ~owner:(k mod procs) ~size:Spec.(spec.var_size) 0)
+  in
+  let samples =
+    { buf = Array.make (max 1 (procs * Spec.total_ops_per_proc spec)) 0.0; n = 0 }
+  in
+  for p = 0 to procs - 1 do
+    Network.spawn net p (fun () -> fiber net dsm spec sampler vars samples p)
+  done;
+  Runner.finish ?on_net ~obs net;
+  let m = Runner.collect net (Some dsm) in
+  {
+    measurements = m;
+    latency =
+      Latency.of_samples ~duration_us:m.Runner.time
+        (Array.sub samples.buf 0 samples.n);
+  }

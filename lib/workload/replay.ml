@@ -1,0 +1,120 @@
+module Network = Diva_simnet.Network
+module Dsm = Diva_core.Dsm
+module Trace = Diva_obs.Trace
+module Runner = Diva_harness.Runner
+
+type mode = Closed_loop | Open_loop
+
+let mode_name = function Closed_loop -> "closed-loop" | Open_loop -> "open-loop"
+
+(* Recorded inter-op gap: issue time minus the previous op's completion on
+   the same processor (0 before the first op — closed loop from the start). *)
+let with_gaps ops =
+  let prev_end = Hashtbl.create 64 in
+  List.map
+    (fun (o : Dsm_trace.op) ->
+      let last =
+        Option.value ~default:o.Dsm_trace.o_ts
+          (Hashtbl.find_opt prev_end o.Dsm_trace.o_proc)
+      in
+      Hashtbl.replace prev_end o.Dsm_trace.o_proc
+        (o.Dsm_trace.o_ts +. o.Dsm_trace.o_dur);
+      (o, Float.max 0.0 (o.Dsm_trace.o_ts -. last)))
+    ops
+
+let run ?(obs = Runner.null_obs) ?on_net ?seed ?(mode = Closed_loop) ~strategy
+    (tr : Dsm_trace.t) =
+  let procs = Dsm_trace.num_procs tr in
+  let seed = Option.value ~default:tr.Dsm_trace.seed seed in
+  let net = Network.create_nd ~seed ~dims:tr.Dsm_trace.dims () in
+  Runner.install_obs net obs;
+  let dsm = Dsm.create net ~strategy () in
+  (* Recreate every variable up front, in recorded id order, so the ids the
+     DSM assigns coincide with the recorded ones. Creation is free in the
+     simulated cost model, so early creation does not perturb replay even
+     for traces of applications that allocated dynamically. *)
+  let vars = Hashtbl.create (List.length tr.Dsm_trace.decls) in
+  List.iter
+    (fun (d : Dsm_trace.decl) ->
+      if d.Dsm_trace.d_owner < 0 || d.Dsm_trace.d_owner >= procs then
+        invalid_arg
+          (Printf.sprintf "Replay.run: variable %d has owner %d outside the %d-processor mesh"
+             d.Dsm_trace.d_var d.Dsm_trace.d_owner procs);
+      Hashtbl.replace vars d.Dsm_trace.d_var
+        (Dsm.create_var dsm ~name:d.Dsm_trace.d_name ~owner:d.Dsm_trace.d_owner
+           ~size:d.Dsm_trace.d_size 0))
+    tr.Dsm_trace.decls;
+  let var o =
+    match Hashtbl.find_opt vars o.Dsm_trace.o_var with
+    | Some v -> v
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Replay.run: op references undeclared variable %d"
+             o.Dsm_trace.o_var)
+  in
+  (* One reducer per recorded wire size, created in deterministic order. *)
+  let reduce_sizes =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (o : Dsm_trace.op) ->
+           if o.Dsm_trace.o_op = Trace.Reduce then Some o.Dsm_trace.o_size
+           else None)
+         tr.Dsm_trace.ops)
+  in
+  let reducers = Hashtbl.create 4 in
+  List.iter
+    (fun size ->
+      Hashtbl.replace reducers size
+        (Dsm.reducer dsm ~combine:(fun a _ -> (a : int)) ~size))
+    reduce_sizes;
+  (* Partition into per-processor programs, preserving order. *)
+  let programs = Array.make procs [] in
+  List.iter
+    (fun ((o : Dsm_trace.op), gap) ->
+      if o.Dsm_trace.o_proc < 0 || o.Dsm_trace.o_proc >= procs then
+        invalid_arg
+          (Printf.sprintf "Replay.run: op on processor %d outside the %d-processor mesh"
+             o.Dsm_trace.o_proc procs);
+      programs.(o.Dsm_trace.o_proc) <-
+        (o, gap) :: programs.(o.Dsm_trace.o_proc))
+    (with_gaps tr.Dsm_trace.ops);
+  Array.iteri (fun p ops -> programs.(p) <- List.rev ops) programs;
+  let samples =
+    Array.make (max 1 (List.length tr.Dsm_trace.ops)) 0.0
+  in
+  let n_samples = ref 0 in
+  let fiber p =
+    List.iter
+      (fun ((o : Dsm_trace.op), gap) ->
+        (match mode with
+        | Open_loop when gap > 0.0 -> Network.compute net p gap
+        | _ -> ());
+        let t0 = Network.now net in
+        (match o.Dsm_trace.o_op with
+        | Trace.Read -> ignore (Dsm.read dsm p (var o) : int)
+        | Trace.Write -> Dsm.write dsm p (var o) 0
+        | Trace.Lock -> Dsm.lock dsm p (var o)
+        | Trace.Unlock -> Dsm.unlock dsm p (var o)
+        | Trace.Barrier -> Dsm.barrier dsm p
+        | Trace.Reduce ->
+            ignore (Dsm.reduce dsm p (Hashtbl.find reducers o.Dsm_trace.o_size) 0 : int));
+        (* Latency is reported over data operations only, matching the
+           synthetic generator, so replay and generation are comparable. *)
+        match o.Dsm_trace.o_op with
+        | Trace.Read | Trace.Write ->
+            samples.(!n_samples) <- Network.now net -. t0;
+            incr n_samples
+        | _ -> ())
+      programs.(p)
+  in
+  for p = 0 to procs - 1 do
+    Network.spawn net p (fun () -> fiber p)
+  done;
+  Runner.finish ?on_net ~obs net;
+  let m = Runner.collect net (Some dsm) in
+  {
+    Generator.measurements = m;
+    latency =
+      Latency.of_samples ~duration_us:m.Runner.time
+        (Array.sub samples 0 !n_samples);
+  }

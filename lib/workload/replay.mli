@@ -1,0 +1,37 @@
+(** Replay a recorded DSM access stream against any strategy, mesh
+    embedding, or seed.
+
+    Each processor's fiber re-issues its recorded operations in program
+    order through the {!Diva_core.Dsm} façade, so the full protocol
+    (caching, combining, invalidation, locks, barriers) runs again:
+
+    - {b Closed loop}: each operation is issued the moment the previous
+      one completes — as fast as the protocol allows. Replaying a trace
+      closed-loop under the {e recording} strategy and seed reproduces a
+      computation-free run (e.g. matmul measured as in the paper)
+      bit for bit.
+    - {b Open loop}: the recorded inter-operation gaps (think/compute
+      time of the original application) are re-inserted as local
+      computation, so the offered load keeps the recorded temporal shape
+      even when the strategy under test changes the per-op latencies.
+
+    Reduce operations are re-issued as all-reduces of the recorded wire
+    size with a trivial combiner; distinct reducers of equal size are
+    collapsed (payload values are not part of the timing model, reducer
+    identity only matters when two same-size reductions overlap). *)
+
+type mode = Closed_loop | Open_loop
+
+val mode_name : mode -> string
+
+val run :
+  ?obs:Diva_harness.Runner.obs ->
+  ?on_net:(Diva_simnet.Network.t -> unit) ->
+  ?seed:int ->
+  ?mode:mode ->
+  strategy:Diva_core.Dsm.strategy ->
+  Dsm_trace.t ->
+  Generator.result
+(** Defaults: the trace's recorded network seed and [Closed_loop]. The
+    mesh dimensions always come from the trace header (the access stream
+    is only meaningful on its recorded processor count). *)

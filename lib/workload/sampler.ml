@@ -1,0 +1,76 @@
+module Mesh = Diva_mesh.Mesh
+module Prng = Diva_util.Prng
+
+let weight pop ~n k =
+  match pop with
+  | Spec.Uniform -> 1.0
+  | Spec.Zipf s -> Float.pow (float_of_int (k + 1)) (-.s)
+  | Spec.Hot_cold { hot_fraction; hot_weight } ->
+      let nh =
+        max 1 (min (n - 1) (int_of_float (Float.round (hot_fraction *. float_of_int n))))
+      in
+      if k < nh then hot_weight /. float_of_int nh
+      else (1.0 -. hot_weight) /. float_of_int (n - nh)
+
+(* One candidate set with its cumulative weights; shared across processors
+   whenever the locality model allows (always, for Global). *)
+type bucket = { keys : int array; cum : float array }
+
+type t = { buckets : bucket array (* indexed by processor *) }
+
+let bucket_of_keys spec keys =
+  let n = Spec.(spec.num_vars) in
+  let cum = Array.make (Array.length keys) 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i k ->
+      acc := !acc +. weight Spec.(spec.popularity) ~n k;
+      cum.(i) <- !acc)
+    keys;
+  { keys; cum }
+
+let create mesh spec =
+  let procs = Mesh.num_nodes mesh in
+  let all = Array.init Spec.(spec.num_vars) Fun.id in
+  let candidates p =
+    match Spec.(spec.locality) with
+    | Spec.Global -> all
+    | Spec.Proc_local ->
+        Array.of_seq
+          (Seq.filter (fun k -> k mod procs = p) (Array.to_seq all))
+    | Spec.Submesh r ->
+        Array.of_seq
+          (Seq.filter
+             (fun k -> Mesh.distance mesh p (k mod procs) <= r)
+             (Array.to_seq all))
+  in
+  let global_bucket = lazy (bucket_of_keys spec all) in
+  let buckets =
+    Array.init procs (fun p ->
+        match Spec.(spec.locality) with
+        | Spec.Global -> Lazy.force global_bucket
+        | _ ->
+            let keys = candidates p in
+            if Array.length keys = 0 then
+              invalid_arg
+                (Printf.sprintf
+                   "Sampler.create: processor %d has no candidate keys \
+                    (locality %s needs num_vars >= %d)"
+                   p
+                   (Spec.locality_name Spec.(spec.locality))
+                   procs);
+            bucket_of_keys spec keys)
+  in
+  { buckets }
+
+let draw t ~proc rng =
+  let b = t.buckets.(proc) in
+  let total = b.cum.(Array.length b.cum - 1) in
+  let u = Prng.float rng total in
+  (* First index whose cumulative weight exceeds u. *)
+  let lo = ref 0 and hi = ref (Array.length b.cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if b.cum.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  b.keys.(!lo)

@@ -1,0 +1,107 @@
+type popularity =
+  | Uniform
+  | Zipf of float
+  | Hot_cold of { hot_fraction : float; hot_weight : float }
+
+type locality = Global | Proc_local | Submesh of int
+
+type phase = {
+  ops : int;
+  read_ratio : float;
+  think : float;
+  burst : (int * float) option;
+}
+
+type t = {
+  num_vars : int;
+  var_size : int;
+  popularity : popularity;
+  locality : locality;
+  lock_every : int;
+  barrier_every : int;
+  phases : phase list;
+  seed : int;
+}
+
+let phase ?(read_ratio = 0.9) ?(think = 0.0) ?burst ops =
+  { ops; read_ratio; think; burst }
+
+let make ?(num_vars = 256) ?(var_size = 64) ?(popularity = Uniform)
+    ?(locality = Global) ?(lock_every = 0) ?(barrier_every = 0)
+    ?(phases = [ phase 200 ]) ?(seed = 1) () =
+  { num_vars; var_size; popularity; locality; lock_every; barrier_every;
+    phases; seed }
+
+let validate t =
+  let check cond msg rest = if cond then rest () else Error msg in
+  let in_unit x = x >= 0.0 && x <= 1.0 in
+  check (t.num_vars >= 1) "num_vars must be >= 1" @@ fun () ->
+  check (t.var_size >= 1) "var_size must be >= 1 byte" @@ fun () ->
+  check (t.lock_every >= 0) "lock_every must be >= 0 (0 = never)" @@ fun () ->
+  check (t.barrier_every >= 0) "barrier_every must be >= 0 (0 = never)"
+  @@ fun () ->
+  check (t.phases <> []) "at least one phase is required" @@ fun () ->
+  check
+    (match t.popularity with
+    | Uniform -> true
+    | Zipf s -> Float.is_finite s && s >= 0.0
+    | Hot_cold _ -> true)
+    "Zipf exponent must be a finite number >= 0"
+  @@ fun () ->
+  check
+    (match t.popularity with
+    | Hot_cold { hot_fraction; hot_weight } ->
+        hot_fraction > 0.0 && hot_fraction < 1.0 && in_unit hot_weight
+    | _ -> true)
+    "hot-cold needs hot_fraction in (0,1) and hot_weight in [0,1]"
+  @@ fun () ->
+  check
+    (match t.locality with Submesh r -> r >= 1 | _ -> true)
+    "submesh locality radius must be >= 1"
+  @@ fun () ->
+  let rec phases i = function
+    | [] -> Ok ()
+    | p :: rest ->
+        let err msg = Error (Printf.sprintf "phase %d: %s" i msg) in
+        if p.ops < 0 then err "ops must be >= 0"
+        else if not (in_unit p.read_ratio) then
+          err "read_ratio must be in [0,1]"
+        else if not (Float.is_finite p.think && p.think >= 0.0) then
+          err "think time must be >= 0"
+        else begin
+          match p.burst with
+          | Some (n, gap) when n < 1 || not (Float.is_finite gap && gap >= 0.0)
+            ->
+              err "burst needs n >= 1 ops and a gap >= 0"
+          | _ -> phases (i + 1) rest
+        end
+  in
+  phases 0 t.phases
+
+let total_ops_per_proc t = List.fold_left (fun acc p -> acc + p.ops) 0 t.phases
+
+let popularity_name = function
+  | Uniform -> "uniform"
+  | Zipf s -> Printf.sprintf "zipf %.2f" s
+  | Hot_cold { hot_fraction; hot_weight } ->
+      Printf.sprintf "hot-cold %.2f:%.2f" hot_fraction hot_weight
+
+let locality_name = function
+  | Global -> "global"
+  | Proc_local -> "local"
+  | Submesh r -> Printf.sprintf "submesh %d" r
+
+let to_params t =
+  let open Diva_obs.Json in
+  [
+    ("num_vars", Int t.num_vars);
+    ("var_size", Int t.var_size);
+    ("popularity", String (popularity_name t.popularity));
+    ("locality", String (locality_name t.locality));
+    ("lock_every", Int t.lock_every);
+    ("barrier_every", Int t.barrier_every);
+    ("phases", Int (List.length t.phases));
+    ("ops_per_proc", Int (total_ops_per_proc t));
+    ( "read_ratio",
+      match t.phases with p :: _ -> Float p.read_ratio | [] -> Null );
+  ]

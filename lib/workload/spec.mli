@@ -1,0 +1,82 @@
+(** Declarative description of a synthetic DSM workload.
+
+    A spec is everything the {!Generator} needs apart from the mesh and the
+    data-management strategy: the shared key space, how keys are chosen
+    (popularity and locality), the read:write mix, synchronization
+    frequency, and a phase structure for non-stationary (bursty) load.
+    Specs are plain data; the same spec runs unchanged against any
+    strategy, mesh and embedding, which is what makes strategies comparable
+    under one load. All randomness is drawn from {!Diva_util.Prng} streams
+    derived from [seed], so a (spec, mesh, strategy) triple determines the
+    run bit for bit. *)
+
+type popularity =
+  | Uniform  (** every key equally likely *)
+  | Zipf of float
+      (** key of global rank [k] (0-based) has weight [(k+1){^ -s}]; [Zipf 0.]
+          is [Uniform], [s] around 0.9–1.2 models web-like skew *)
+  | Hot_cold of { hot_fraction : float; hot_weight : float }
+      (** the first [hot_fraction] of the key space receives [hot_weight]
+          of the total probability mass, uniformly within each class *)
+
+type locality =
+  | Global  (** any processor accesses any key *)
+  | Proc_local  (** each processor only accesses keys homed on itself *)
+  | Submesh of int
+      (** keys homed on processors within the given Manhattan radius *)
+
+(** One phase of the load: [ops] shared-memory data operations per
+    processor, issued back to back except for [think] microseconds of local
+    computation after each, and — when [burst] is [Some (n, gap)] — an
+    extra [gap]-microsecond pause after every [n]-th operation (an on/off
+    bursty arrival process). Phases are separated by global barriers. *)
+type phase = {
+  ops : int;
+  read_ratio : float;  (** probability in \[0,1\] that an op is a read *)
+  think : float;
+  burst : (int * float) option;
+}
+
+type t = {
+  num_vars : int;  (** key space size; key [k] is homed on processor [k mod P] *)
+  var_size : int;  (** payload bytes per variable *)
+  popularity : popularity;
+  locality : locality;
+  lock_every : int;
+      (** every [lock_every]-th data op runs under the key's lock (0 = never) *)
+  barrier_every : int;
+      (** a global barrier after every [barrier_every]-th op (0 = phase ends only) *)
+  phases : phase list;
+  seed : int;
+}
+
+val phase :
+  ?read_ratio:float -> ?think:float -> ?burst:int * float -> int -> phase
+(** [phase ~read_ratio ~think ~burst ops] with defaults 0.9, 0., [None]. *)
+
+val make :
+  ?num_vars:int ->
+  ?var_size:int ->
+  ?popularity:popularity ->
+  ?locality:locality ->
+  ?lock_every:int ->
+  ?barrier_every:int ->
+  ?phases:phase list ->
+  ?seed:int ->
+  unit ->
+  t
+(** Defaults: 256 keys of 64 bytes, [Uniform], [Global], no locks, no extra
+    barriers, one phase of 200 ops at read ratio 0.9, seed 1. *)
+
+val validate : t -> (unit, string) result
+(** Structural validation with actionable messages: key space and sizes
+    positive, probabilities in \[0,1\], Zipf exponent and hot-cold
+    parameters in range, at least one phase, non-negative frequencies. *)
+
+val total_ops_per_proc : t -> int
+
+val popularity_name : popularity -> string
+val locality_name : locality -> string
+
+val to_params : t -> (string * Diva_obs.Json.t) list
+(** Spec as manifest / BENCH parameter fields. *)

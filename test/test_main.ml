@@ -13,4 +13,5 @@ let () =
       ("edges", Test_edges.suite);
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);
+      ("workload", Test_workload.suite);
     ]

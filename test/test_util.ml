@@ -1,7 +1,7 @@
 (* Unit and property tests for lib/util. *)
 
 module Prng = Diva_util.Prng
-module Heap = Diva_util.Pairing_heap
+module Heap = Diva_util.Event_queue
 module Stats = Diva_util.Stats
 module Table = Diva_util.Table
 
@@ -138,6 +138,40 @@ let test_stats () =
   Alcotest.(check bool) "pow2 no" false (Stats.is_power_of_two 48);
   Alcotest.(check bool) "pow2 zero" false (Stats.is_power_of_two 0)
 
+let test_percentile () =
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Stats.percentile 50.0 [||]);
+  let one = [| 7.5 |] in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "single element, p%g" p)
+        7.5 (Stats.percentile p one))
+    [ 0.0; 50.0; 100.0 ];
+  (* Unsorted input; nearest rank on the sorted copy. *)
+  let a = [| 30.0; 10.0; 50.0; 20.0; 40.0 |] in
+  Alcotest.(check (float 1e-9)) "p0 = min" 10.0 (Stats.percentile 0.0 a);
+  Alcotest.(check (float 1e-9)) "p50 = median" 30.0 (Stats.percentile 50.0 a);
+  Alcotest.(check (float 1e-9)) "p100 = max" 50.0 (Stats.percentile 100.0 a);
+  Alcotest.(check (float 1e-9)) "p95 -> max of 5" 50.0 (Stats.percentile 95.0 a);
+  Alcotest.(check (float 1e-9)) "p20 -> 1st of 5" 10.0 (Stats.percentile 20.0 a);
+  Alcotest.(check (float 1e-9)) "p21 -> 2nd of 5" 20.0 (Stats.percentile 21.0 a);
+  (* Input is left untouched. *)
+  Alcotest.(check (array (float 0.0))) "input unmodified"
+    [| 30.0; 10.0; 50.0; 20.0; 40.0 |] a;
+  (* Out-of-range p clamps rather than raising. *)
+  Alcotest.(check (float 1e-9)) "p<0 clamps" 10.0 (Stats.percentile (-3.0) a);
+  Alcotest.(check (float 1e-9)) "p>100 clamps" 50.0 (Stats.percentile 140.0 a)
+
+(* The historical module name must keep working (deprecated alias). *)
+let test_pairing_heap_alias () =
+  let h = Diva_util.Pairing_heap.create () in
+  Diva_util.Pairing_heap.insert h 2.0 "b";
+  Diva_util.Pairing_heap.insert h 1.0 "a";
+  (match Diva_util.Pairing_heap.pop_min h with
+  | Some (_, "a") -> ()
+  | _ -> Alcotest.fail "alias misbehaves");
+  Alcotest.(check int) "size via alias" 1 (Diva_util.Pairing_heap.size h)
+
 let contains_substring s needle =
   let n = String.length needle and m = String.length s in
   let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
@@ -173,6 +207,8 @@ let suite =
     Alcotest.test_case "heap interleaved" `Quick test_heap_interleaved;
     QCheck_alcotest.to_alcotest prop_heap_sorted;
     Alcotest.test_case "stats helpers" `Quick test_stats;
+    Alcotest.test_case "stats percentile" `Quick test_percentile;
+    Alcotest.test_case "pairing_heap alias" `Quick test_pairing_heap_alias;
     Alcotest.test_case "table render" `Quick test_table_render;
   ]
 

@@ -1,0 +1,327 @@
+(* Workload engine: synthetic generator determinism, trace
+   record/round-trip/replay fidelity, sampler distributions, spec
+   validation. *)
+
+module Runner = Diva_harness.Runner
+module Trace = Diva_obs.Trace
+module Spec = Diva_workload.Spec
+module Sampler = Diva_workload.Sampler
+module Generator = Diva_workload.Generator
+module Dsm_trace = Diva_workload.Dsm_trace
+module Replay = Diva_workload.Replay
+module Latency = Diva_workload.Latency
+module Prng = Diva_util.Prng
+
+let strategy_4ary = Diva_core.Dsm.access_tree ~arity:4 ()
+
+let small_spec =
+  Spec.make ~num_vars:64 ~var_size:32
+    ~phases:[ Spec.phase ~read_ratio:0.8 60 ]
+    ~barrier_every:20 ~lock_every:15 ~seed:5 ()
+
+let traced_obs () =
+  let tr = Trace.create () in
+  (tr, { Runner.null_obs with Runner.obs_trace = tr })
+
+let check_meas name (a : Runner.measurements) (b : Runner.measurements) =
+  Alcotest.(check int) (name ^ ": total msgs") a.Runner.total_msgs b.Runner.total_msgs;
+  Alcotest.(check int) (name ^ ": total bytes") a.Runner.total_bytes b.Runner.total_bytes;
+  Alcotest.(check int) (name ^ ": congestion msgs") a.Runner.congestion_msgs
+    b.Runner.congestion_msgs;
+  Alcotest.(check int) (name ^ ": congestion bytes") a.Runner.congestion_bytes
+    b.Runner.congestion_bytes;
+  Alcotest.(check (float 0.0)) (name ^ ": time") a.Runner.time b.Runner.time;
+  Alcotest.(check int) (name ^ ": startups") a.Runner.startups b.Runner.startups
+
+(* Same workload spec + seed => identical trace, twice. *)
+let test_generator_determinism () =
+  let capture () =
+    let sink, obs = traced_obs () in
+    let r = Generator.run ~obs ~dims:[| 4; 4 |] ~strategy:strategy_4ary small_spec in
+    let t =
+      Dsm_trace.of_events ~dims:[| 4; 4 |] ~seed:Spec.(small_spec.seed)
+        (Trace.events sink)
+    in
+    (r, Dsm_trace.to_string t)
+  in
+  let r1, t1 = capture () in
+  let r2, t2 = capture () in
+  check_meas "rerun" r1.Generator.measurements r2.Generator.measurements;
+  Alcotest.(check string) "identical serialized trace" t1 t2;
+  Alcotest.(check bool) "trace is non-trivial" true (String.length t1 > 1000)
+
+(* The generator issues exactly the configured number of data ops. *)
+let test_generator_op_count () =
+  let sink, obs = traced_obs () in
+  ignore
+    (Generator.run ~obs ~dims:[| 4; 4 |] ~strategy:strategy_4ary small_spec
+      : Generator.result);
+  let t = Dsm_trace.of_events ~dims:[| 4; 4 |] ~seed:0 (Trace.events sink) in
+  let data_ops =
+    List.length
+      (List.filter
+         (fun (o : Dsm_trace.op) ->
+           match o.Dsm_trace.o_op with
+           | Trace.Read | Trace.Write -> true
+           | _ -> false)
+         t.Dsm_trace.ops)
+  in
+  (* 16 procs x 60 ops; lock/unlock/barriers come on top. *)
+  Alcotest.(check int) "data ops" (16 * 60) data_ops;
+  let locks =
+    List.length
+      (List.filter
+         (fun (o : Dsm_trace.op) -> o.Dsm_trace.o_op = Trace.Lock)
+         t.Dsm_trace.ops)
+  in
+  Alcotest.(check int) "locks (every 15th of 60)" (16 * 4) locks
+
+(* Capturing a matmul run and replaying it closed-loop under the same
+   strategy and seed reproduces the original Link_stats totals exactly. *)
+let replay_roundtrip strategy =
+  let sink, obs = traced_obs () in
+  let m0 =
+    Runner.run_matmul ~seed:17 ~obs ~rows:4 ~cols:4 ~block:64
+      (Runner.Strategy strategy)
+  in
+  let t = Dsm_trace.of_events ~dims:[| 4; 4 |] ~seed:17 (Trace.events sink) in
+  Alcotest.(check int) "all vars declared" 16 (List.length t.Dsm_trace.decls);
+  let r = Replay.run ~mode:Replay.Closed_loop ~strategy t in
+  check_meas "replay" m0 r.Generator.measurements
+
+let test_replay_matmul_4ary () = replay_roundtrip strategy_4ary
+let test_replay_matmul_fixed_home () = replay_roundtrip Diva_core.Dsm.Fixed_home
+
+(* Replay of a synthetic workload is also exact: the generator's fibers do
+   no untraced work, so the closed-loop replay is the same program. *)
+let test_replay_synthetic () =
+  let sink, obs = traced_obs () in
+  let r0 = Generator.run ~obs ~dims:[| 4; 4 |] ~strategy:strategy_4ary small_spec in
+  let t =
+    Dsm_trace.of_events ~dims:[| 4; 4 |] ~seed:Spec.(small_spec.seed)
+      (Trace.events sink)
+  in
+  let r = Replay.run ~strategy:strategy_4ary t in
+  check_meas "synthetic replay" r0.Generator.measurements r.Generator.measurements;
+  Alcotest.(check int) "same op count" r0.Generator.latency.Latency.ops
+    r.Generator.latency.Latency.ops
+
+(* Open-loop replay re-inserts recorded gaps: replaying a think-heavy
+   workload open-loop takes at least as long as closed-loop. *)
+let test_open_loop_slower () =
+  let spec =
+    Spec.make ~num_vars:32 ~phases:[ Spec.phase ~think:50.0 30 ] ~seed:7 ()
+  in
+  let sink, obs = traced_obs () in
+  ignore
+    (Generator.run ~obs ~dims:[| 2; 2 |] ~strategy:strategy_4ary spec
+      : Generator.result);
+  let t = Dsm_trace.of_events ~dims:[| 2; 2 |] ~seed:7 (Trace.events sink) in
+  let closed = Replay.run ~mode:Replay.Closed_loop ~strategy:strategy_4ary t in
+  let open_ = Replay.run ~mode:Replay.Open_loop ~strategy:strategy_4ary t in
+  Alcotest.(check bool)
+    (Printf.sprintf "open (%.0f us) > closed (%.0f us)"
+       open_.Generator.measurements.Runner.time
+       closed.Generator.measurements.Runner.time)
+    true
+    (open_.Generator.measurements.Runner.time
+    > closed.Generator.measurements.Runner.time);
+  (* And the open-loop run is at least as long as the recording. *)
+  Alcotest.(check bool) "open >= recorded duration" true
+    (open_.Generator.measurements.Runner.time
+    >= List.fold_left
+         (fun acc (o : Dsm_trace.op) -> Float.max acc o.Dsm_trace.o_ts)
+         0.0 t.Dsm_trace.ops)
+
+(* Serialization round-trips through text and through a file. *)
+let test_trace_roundtrip () =
+  let sink, obs = traced_obs () in
+  ignore
+    (Generator.run ~obs ~dims:[| 2; 2 |] ~strategy:strategy_4ary small_spec
+      : Generator.result);
+  let t =
+    Dsm_trace.of_events ~dims:[| 2; 2 |] ~seed:5
+      ~meta:[ ("app", "workload"); ("strategy", "4-ary") ]
+      (Trace.events sink)
+  in
+  let s = Dsm_trace.to_string t in
+  (match Dsm_trace.of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok t' ->
+      Alcotest.(check string) "text round-trip" s (Dsm_trace.to_string t');
+      Alcotest.(check (list (pair string string))) "meta" t.Dsm_trace.meta
+        t'.Dsm_trace.meta;
+      Alcotest.(check int) "ops" (List.length t.Dsm_trace.ops)
+        (List.length t'.Dsm_trace.ops));
+  let path = Filename.temp_file "diva_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dsm_trace.write path t;
+      (match Dsm_trace.probe path with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("probe: " ^ e));
+      match Dsm_trace.read path with
+      | Error e -> Alcotest.fail e
+      | Ok t' ->
+          Alcotest.(check string) "file round-trip" s (Dsm_trace.to_string t'))
+
+let test_trace_errors () =
+  let fails = function
+    | Error (_ : string) -> ()
+    | Ok (_ : Dsm_trace.t) -> Alcotest.fail "expected an error"
+  in
+  fails (Dsm_trace.of_string "");
+  fails (Dsm_trace.of_string "{\"format\":\"something-else\",\"version\":1}");
+  fails
+    (Dsm_trace.of_string
+       "{\"format\":\"diva-dsm-trace\",\"version\":99,\"dims\":[2,2],\"seed\":1}");
+  fails (Dsm_trace.of_string "not json at all");
+  (match
+     Dsm_trace.of_string
+       "{\"format\":\"diva-dsm-trace\",\"version\":99,\"dims\":[2,2],\"seed\":1}"
+   with
+  | Error e ->
+      Alcotest.(check bool) "version error names the version" true
+        (String.contains e '9')
+  | Ok _ -> Alcotest.fail "expected version error");
+  match Dsm_trace.probe "/nonexistent/trace.jsonl" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "probe of missing file succeeded"
+
+(* Zipf sampling: rank-0 keys dominate more as the exponent grows; uniform
+   sampling covers the key space evenly. *)
+let sample_counts spec dims draws =
+  let mesh = Diva_mesh.Mesh.create_nd ~dims in
+  let sampler = Sampler.create mesh spec in
+  let rng = Prng.create ~seed:99 in
+  let counts = Array.make Spec.(spec.num_vars) 0 in
+  for _ = 1 to draws do
+    let k = Sampler.draw sampler ~proc:0 rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  counts
+
+let test_sampler_zipf_skew () =
+  let n = 100 and draws = 20_000 in
+  let top_share skew =
+    let spec = Spec.make ~num_vars:n ~popularity:(Spec.Zipf skew) () in
+    let counts = sample_counts spec [| 2; 2 |] draws in
+    float_of_int counts.(0) /. float_of_int draws
+  in
+  let s0 = top_share 0.0 and s09 = top_share 0.9 and s12 = top_share 1.2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "zipf 0 ~ uniform (top %.3f)" s0)
+    true
+    (s0 < 0.03);
+  Alcotest.(check bool)
+    (Printf.sprintf "skew monotone (%.3f < %.3f < %.3f)" s0 s09 s12)
+    true
+    (s0 < s09 && s09 < s12);
+  Alcotest.(check bool) "zipf 1.2 is heavily skewed" true (s12 > 0.15)
+
+let test_sampler_hot_cold () =
+  let n = 100 in
+  let spec =
+    Spec.make ~num_vars:n
+      ~popularity:(Spec.Hot_cold { hot_fraction = 0.1; hot_weight = 0.9 })
+      ()
+  in
+  let counts = sample_counts spec [| 2; 2 |] 20_000 in
+  let hot = Array.fold_left ( + ) 0 (Array.sub counts 0 10) in
+  let share = float_of_int hot /. 20_000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "hot 10%% of keys draw ~90%% of accesses (got %.2f)" share)
+    true
+    (share > 0.85 && share < 0.95)
+
+let test_sampler_locality () =
+  let dims = [| 4; 4 |] in
+  let mesh = Diva_mesh.Mesh.create_nd ~dims in
+  let procs = 16 in
+  let spec = Spec.make ~num_vars:64 ~locality:Spec.Proc_local () in
+  let sampler = Sampler.create mesh spec in
+  let rng = Prng.create ~seed:3 in
+  for p = 0 to procs - 1 do
+    for _ = 1 to 50 do
+      let k = Sampler.draw sampler ~proc:p rng in
+      Alcotest.(check int) "local key homed on proc" p (k mod procs)
+    done
+  done;
+  let spec = Spec.make ~num_vars:64 ~locality:(Spec.Submesh 1) () in
+  let sampler = Sampler.create mesh spec in
+  for p = 0 to procs - 1 do
+    for _ = 1 to 50 do
+      let k = Sampler.draw sampler ~proc:p rng in
+      Alcotest.(check bool) "submesh key within radius" true
+        (Diva_mesh.Mesh.distance mesh p (k mod procs) <= 1)
+    done
+  done;
+  (* Too few keys for Proc_local on 16 procs: clear error. *)
+  match
+    Sampler.create mesh (Spec.make ~num_vars:8 ~locality:Spec.Proc_local ())
+  with
+  | exception Invalid_argument _ -> ()
+  | (_ : Sampler.t) -> Alcotest.fail "empty candidate set not rejected"
+
+let test_spec_validation () =
+  let bad spec =
+    match Spec.validate spec with
+    | Error (_ : string) -> ()
+    | Ok () -> Alcotest.fail "invalid spec accepted"
+  in
+  (match Spec.validate (Spec.make ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("default spec rejected: " ^ e));
+  bad (Spec.make ~num_vars:0 ());
+  bad (Spec.make ~var_size:0 ());
+  bad (Spec.make ~popularity:(Spec.Zipf (-1.0)) ());
+  bad (Spec.make ~popularity:(Spec.Zipf Float.nan) ());
+  bad
+    (Spec.make
+       ~popularity:(Spec.Hot_cold { hot_fraction = 1.5; hot_weight = 0.5 })
+       ());
+  bad (Spec.make ~locality:(Spec.Submesh 0) ());
+  bad (Spec.make ~phases:[] ());
+  bad (Spec.make ~phases:[ Spec.phase ~read_ratio:1.5 10 ] ());
+  bad (Spec.make ~phases:[ Spec.phase ~think:(-1.0) 10 ] ());
+  bad (Spec.make ~phases:[ Spec.phase ~burst:(0, 10.0) 10 ] ())
+
+(* The latency report is consistent with the run it measures. *)
+let test_latency_report () =
+  let r = Generator.run ~dims:[| 4; 4 |] ~strategy:strategy_4ary small_spec in
+  let l = r.Generator.latency in
+  Alcotest.(check int) "every data op sampled" (16 * 60) l.Latency.ops;
+  Alcotest.(check bool) "percentiles ordered" true
+    (l.Latency.p50 <= l.Latency.p95
+    && l.Latency.p95 <= l.Latency.p99
+    && l.Latency.p99 <= l.Latency.max);
+  Alcotest.(check bool) "max latency below run time" true
+    (l.Latency.max <= r.Generator.measurements.Runner.time);
+  Alcotest.(check bool) "throughput positive" true (Latency.ops_per_sec l > 0.0);
+  let fields = Latency.to_fields l in
+  Alcotest.(check bool) "fields carry p99" true
+    (List.mem_assoc "lat_p99_us" fields)
+
+let suite =
+  [
+    Alcotest.test_case "generator determinism (trace twice)" `Quick
+      test_generator_determinism;
+    Alcotest.test_case "generator op counts" `Quick test_generator_op_count;
+    Alcotest.test_case "matmul record/replay bit-for-bit (4-ary)" `Quick
+      test_replay_matmul_4ary;
+    Alcotest.test_case "matmul record/replay bit-for-bit (fixed home)" `Quick
+      test_replay_matmul_fixed_home;
+    Alcotest.test_case "synthetic record/replay bit-for-bit" `Quick
+      test_replay_synthetic;
+    Alcotest.test_case "open-loop honours recorded gaps" `Quick
+      test_open_loop_slower;
+    Alcotest.test_case "trace round-trip (text + file)" `Quick
+      test_trace_roundtrip;
+    Alcotest.test_case "trace error reporting" `Quick test_trace_errors;
+    Alcotest.test_case "sampler zipf skew" `Quick test_sampler_zipf_skew;
+    Alcotest.test_case "sampler hot-cold" `Quick test_sampler_hot_cold;
+    Alcotest.test_case "sampler locality" `Quick test_sampler_locality;
+    Alcotest.test_case "spec validation" `Quick test_spec_validation;
+    Alcotest.test_case "latency report" `Quick test_latency_report;
+  ]
