@@ -436,6 +436,54 @@ let workload_zipf () =
        ~param:"zipf" ~rows)
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection (extension: degradation under message loss)          *)
+(* ------------------------------------------------------------------ *)
+
+module Fault_schedule = Diva_faults.Schedule
+module Faults = Diva_faults.Faults
+module Network = Diva_simnet.Network
+
+(* How gracefully each strategy degrades as the network loses messages:
+   end-to-end time and recovery traffic under increasing drop
+   probability. Deterministic (schedule seed is fixed), so the numbers
+   are comparable across PRs. *)
+let fault_degradation () =
+  banner "Fault injection: matmul 8x8 under increasing message loss";
+  let tbl =
+    Table.create ~header:[ "drop"; "strategy"; "time(s)"; "lost"; "retx" ]
+  in
+  List.iter
+    (fun prob ->
+      let sched =
+        if prob = 0.0 then Fault_schedule.empty
+        else
+          Fault_schedule.make ~seed:9
+            [ Fault_schedule.Msg_drop { prob; w = { t0 = 0.0; t1 = 1e9 } } ]
+      in
+      List.iter
+        (fun (sn, s) ->
+          let captured = ref None in
+          let m =
+            Runner.run_matmul ~seed:3
+              ~obs:{ Runner.null_obs with Runner.obs_faults = sched }
+              ~on_net:(fun net -> captured := Network.faults net)
+              ~rows:8 ~cols:8 ~block:256 s
+          in
+          let lost, retx =
+            match !captured with
+            | Some f -> (Faults.lost_total f, Faults.retransmits f)
+            | None -> (0, 0)
+          in
+          Table.add_row tbl
+            [ Printf.sprintf "%.2f" prob; sn;
+              Table.fstr (m.Runner.time /. 1e6); string_of_int lost;
+              string_of_int retx ])
+        [ ("fixed-home", Runner.Strategy Dsm.Fixed_home);
+          ("4-ary", Runner.Strategy (Dsm.access_tree ~arity:4 ())) ])
+    [ 0.0; 0.01; 0.05 ];
+  print_string (Table.render tbl)
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable perf trajectory (BENCH_diva.json)                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -624,6 +672,7 @@ let () =
       ("replacement", replacement_ablation);
       ("dimensions", dimensions_ablation);
       ("workload_zipf", workload_zipf);
+      ("faults", fault_degradation);
       ("bench_json", bench_json);
     ]
   in

@@ -16,6 +16,9 @@ module Runner = Diva_harness.Runner
 module Barnes_hut = Diva_apps.Barnes_hut
 module Embedding = Diva_mesh.Embedding
 module Workload = Diva_workload
+module Network = Diva_simnet.Network
+module Faults = Diva_faults.Faults
+module Fault_schedule = Diva_faults.Schedule
 open Cmdliner
 
 let parse_mesh s =
@@ -106,6 +109,7 @@ type obs_opts = {
   manifest_file : string option;
   record_file : string option;
   sample_us : float;
+  fault_sched : Fault_schedule.t;
 }
 
 let obs_opts_t =
@@ -162,10 +166,34 @@ let obs_opts_t =
              (see docs/WORKLOAD.md). Feed it back with $(b,divasim workload \
              --replay FILE).")
   in
-  let mk trace_file metrics_file manifest_file record_file sample_us =
-    { trace_file; metrics_file; manifest_file; record_file; sample_us }
+  let faults_conv =
+    let parse s =
+      match Fault_schedule.read s with
+      | Ok sched -> Ok sched
+      | Error e ->
+          Error (`Msg (Printf.sprintf "cannot load fault schedule %s: %s" s e))
+    in
+    Arg.conv
+      (parse, fun ppf sched ->
+        Format.fprintf ppf "%s" (Fault_schedule.describe sched))
   in
-  Term.(const mk $ trace $ metrics $ manifest $ record $ sample)
+  let faults =
+    Arg.(
+      value
+      & opt faults_conv Fault_schedule.empty
+      & info [ "faults" ] ~docv:"FILE"
+          ~doc:
+            "Inject the deterministic fault schedule $(docv) (JSON, see \
+             docs/FAULTS.md): link slowdowns and outages, probabilistic \
+             message loss, node pause and crash windows. Remote messages \
+             travel in a reliable ack/retry envelope while faults are \
+             active; the run report gains a $(b,faults) section.")
+  in
+  let mk trace_file metrics_file manifest_file record_file sample_us fault_sched =
+    { trace_file; metrics_file; manifest_file; record_file; sample_us;
+      fault_sched }
+  in
+  Term.(const mk $ trace $ metrics $ manifest $ record $ sample $ faults)
 
 (* Fail on an unwritable artifact destination before the (possibly long)
    simulation runs, not after. *)
@@ -196,7 +224,33 @@ let make_obs oo =
       | Some _ -> Some (Diva_obs.Metrics.create ())
       | None -> None);
     obs_sample_interval = oo.sample_us;
+    obs_faults = oo.fault_sched;
   }
+
+(* The fault injector lives on the network, which the runners create and
+   discard internally; the [on_net] hook (also used for the heatmap) runs
+   after completion and is our one chance to capture it. *)
+let capture_faults heatmap =
+  let captured = ref None in
+  let user = on_net_of heatmap in
+  let on_net net =
+    captured := Network.faults net;
+    match user with Some f -> f net | None -> ()
+  in
+  (on_net, captured)
+
+let print_faults = function
+  | None -> ()
+  | Some f ->
+      Printf.printf
+        "faults               %d lost (%d drop, %d down, %d crash), %d \
+         retransmits, %d reissues\n"
+        (Faults.lost_total f) (Faults.lost_random f) (Faults.lost_link_down f)
+        (Faults.lost_crashed f) (Faults.retransmits f) (Faults.dsm_reissues f)
+
+let fault_json = function
+  | None -> []
+  | Some f -> [ ("faults", Diva_obs.Json.Obj (Faults.report_fields f)) ]
 
 let write_text path s =
   let oc = open_out path in
@@ -273,19 +327,21 @@ let matmul_cmd =
     match dims with
     | [| rows; cols |] when rows = cols ->
         let obs = make_obs oo in
+        let on_net, faults = capture_faults heatmap in
         let m =
-          Runner.run_matmul ~seed ~obs ?on_net:(on_net_of heatmap) ~rows ~cols
-            ~block ~compute strategy
+          Runner.run_matmul ~seed ~obs ~on_net ~rows ~cols ~block ~compute
+            strategy
         in
         Printf.printf "matmul %dx%d, block %d, strategy %s\n" rows cols block
           (Runner.name strategy);
         print_measurements m;
+        print_faults !faults;
         write_artifacts oo obs ~app:"matmul" ~dims
           ~strategy:(Runner.name strategy) ~seed
           ~params:
             [ ("block", Diva_obs.Json.Int block);
               ("compute", Diva_obs.Json.Bool compute) ]
-          ~measurements:(Runner.measurement_fields m)
+          ~measurements:(Runner.measurement_fields m @ fault_json !faults)
     | _ -> failwith "matmul needs a square 2-D mesh"
   in
   Cmd.v (Cmd.info "matmul" ~doc:"Matrix squaring (paper 3.1)")
@@ -299,18 +355,17 @@ let bitonic_cmd =
   in
   let run dims strategy keys seed heatmap oo =
     let obs = make_obs oo in
-    let m =
-      Runner.run_bitonic_nd ~seed ~obs ?on_net:(on_net_of heatmap) ~dims ~keys
-        strategy
-    in
+    let on_net, faults = capture_faults heatmap in
+    let m = Runner.run_bitonic_nd ~seed ~obs ~on_net ~dims ~keys strategy in
     Printf.printf "bitonic %s, %d keys/proc, strategy %s\n"
       (String.concat "x" (List.map string_of_int (Array.to_list dims)))
       keys (Runner.name strategy);
     print_measurements m;
+    print_faults !faults;
     write_artifacts oo obs ~app:"bitonic" ~dims ~strategy:(Runner.name strategy)
       ~seed
       ~params:[ ("keys", Diva_obs.Json.Int keys) ]
-      ~measurements:(Runner.measurement_fields m)
+      ~measurements:(Runner.measurement_fields m @ fault_json !faults)
   in
   Cmd.v (Cmd.info "bitonic" ~doc:"Bitonic sorting (paper 3.2)")
     Term.(
@@ -339,16 +394,15 @@ let nbody_cmd =
         Barnes_hut.steps; theta }
     in
     let obs = make_obs oo in
-    let r =
-      Runner.run_barnes_hut_nd ~seed ~obs ?on_net:(on_net_of heatmap) ~dims
-        ~cfg strategy
-    in
+    let on_net, faults = capture_faults heatmap in
+    let r = Runner.run_barnes_hut_nd ~seed ~obs ~on_net ~dims ~cfg strategy in
     Printf.printf "barnes-hut %s, %d bodies, theta %.2f, strategy %s\n"
       (String.concat "x" (List.map string_of_int (Array.to_list dims)))
       bodies theta
       (Dsm.strategy_name strategy);
     Printf.printf "-- measured steps, all phases --\n";
     print_measurements r.Runner.bh_total;
+    print_faults !faults;
     if phases then
       List.iter
         (fun ph ->
@@ -362,7 +416,8 @@ let nbody_cmd =
         [ ("bodies", Diva_obs.Json.Int bodies);
           ("steps", Diva_obs.Json.Int steps);
           ("theta", Diva_obs.Json.Float theta) ]
-      ~measurements:(Runner.measurement_fields r.Runner.bh_total)
+      ~measurements:
+        (Runner.measurement_fields r.Runner.bh_total @ fault_json !faults)
   in
   Cmd.v (Cmd.info "nbody" ~doc:"Barnes-Hut N-body simulation (paper 3.3)")
     Term.(
@@ -628,9 +683,10 @@ let workload_cmd =
             | Error e -> failwith e
           in
           let strategy = require_dsm_strategy strategy in
+          let on_net, faults = capture_faults heatmap in
           let r =
-            Workload.Replay.run ~obs ?on_net:(on_net_of heatmap) ~seed
-              ~mode:replay_mode ~strategy tr
+            Workload.Replay.run ~obs ~on_net ~seed ~mode:replay_mode ~strategy
+              tr
           in
           Printf.printf "replay %s (%s, %d ops on %s), strategy %s\n" path
             (Workload.Replay.mode_name replay_mode)
@@ -639,6 +695,7 @@ let workload_cmd =
                (List.map string_of_int (Array.to_list tr.Workload.Dsm_trace.dims)))
             (Dsm.strategy_name strategy);
           print_measurements r.Workload.Generator.measurements;
+          print_faults !faults;
           print_string (Workload.Latency.render r.Workload.Generator.latency);
           write_artifacts oo obs ~app:"workload-replay"
             ~dims:tr.Workload.Dsm_trace.dims ~strategy:(Dsm.strategy_name strategy)
@@ -646,26 +703,27 @@ let workload_cmd =
             ~params:[ ("replay", Diva_obs.Json.String path) ]
             ~measurements:
               (Runner.measurement_fields r.Workload.Generator.measurements
-              @ Workload.Latency.to_fields r.Workload.Generator.latency)
+              @ Workload.Latency.to_fields r.Workload.Generator.latency
+              @ fault_json !faults)
       | None ->
           let strategy = require_dsm_strategy strategy in
-          let r =
-            Workload.Generator.run ~obs ?on_net:(on_net_of heatmap) ~dims
-              ~strategy spec
-          in
+          let on_net, faults = capture_faults heatmap in
+          let r = Workload.Generator.run ~obs ~on_net ~dims ~strategy spec in
           Printf.printf "workload %s, strategy %s, %s popularity, %s locality\n"
             (String.concat "x" (List.map string_of_int (Array.to_list dims)))
             (Dsm.strategy_name strategy)
             (Workload.Spec.popularity_name spec.Workload.Spec.popularity)
             (Workload.Spec.locality_name spec.Workload.Spec.locality);
           print_measurements r.Workload.Generator.measurements;
+          print_faults !faults;
           print_string (Workload.Latency.render r.Workload.Generator.latency);
           write_artifacts oo obs ~app:"workload" ~dims
             ~strategy:(Dsm.strategy_name strategy) ~seed
             ~params:(Workload.Spec.to_params spec)
             ~measurements:
               (Runner.measurement_fields r.Workload.Generator.measurements
-              @ Workload.Latency.to_fields r.Workload.Generator.latency)
+              @ Workload.Latency.to_fields r.Workload.Generator.latency
+              @ fault_json !faults)
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"Synthetic DSM load generator and trace replay")
@@ -674,9 +732,120 @@ let workload_cmd =
       $ read_ratio $ locality $ lock_every $ barrier_every $ think $ burst
       $ phases $ replay $ replay_mode $ smoke $ seed_t $ heatmap_t $ obs_opts_t)
 
+let chaos_cmd =
+  let mesh =
+    Arg.(
+      value
+      & opt mesh_conv [| 4; 4 |]
+      & info [ "mesh" ] ~docv:"RxC" ~doc:"Mesh size (any dimension).")
+  in
+  let schedules =
+    Arg.(
+      value & opt int 10
+      & info [ "schedules" ] ~docv:"N"
+          ~doc:"Number of generated fault schedules to sweep.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 60
+      & info [ "ops" ] ~docv:"N" ~doc:"Data operations per processor per run.")
+  in
+  let vars =
+    Arg.(
+      value & opt int 24
+      & info [ "vars" ] ~docv:"N" ~doc:"Shared-variable key space size.")
+  in
+  let lock_every =
+    Arg.(
+      value & opt int 4
+      & info [ "lock-every" ] ~docv:"N"
+          ~doc:"Run every $(docv)-th data op under the key's lock (0 = never).")
+  in
+  let read_ratio =
+    Arg.(
+      value
+      & opt (ratio_conv ~what:"read ratio") 0.7
+      & info [ "read-ratio" ] ~docv:"R"
+          ~doc:"Fraction of data operations that are reads, in [0,1].")
+  in
+  let no_verify =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:
+            "Skip the determinism check (each case is normally run twice and \
+             every measurement and fault counter compared).")
+  in
+  let manifest =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:
+            "Write the campaign's machine-readable JSON report, including \
+             every generated fault schedule for replay.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI smoke: a reduced campaign (3 schedules, 30 ops/proc on a 4x4 \
+             mesh) with determinism verification on.")
+  in
+  let run dims schedules seed ops vars lock_every read_ratio no_verify manifest
+      smoke =
+    let cfg =
+      {
+        Workload.Chaos.dims;
+        schedules;
+        seed;
+        ops;
+        num_vars = vars;
+        lock_every;
+        read_ratio;
+        verify_determinism = not no_verify;
+      }
+    in
+    let cfg =
+      if smoke then
+        { cfg with Workload.Chaos.dims = [| 4; 4 |]; schedules = 3; ops = 30;
+          verify_determinism = true }
+      else cfg
+    in
+    Printf.printf
+      "chaos: %d fault schedules x 2 strategies on %s, %d ops/proc, seed %d%s\n"
+      cfg.Workload.Chaos.schedules
+      (String.concat "x"
+         (List.map string_of_int (Array.to_list cfg.Workload.Chaos.dims)))
+      cfg.Workload.Chaos.ops seed
+      (if cfg.Workload.Chaos.verify_determinism then " (verified)" else "");
+    let outcomes = Workload.Chaos.run ~progress:print_endline cfg in
+    let ok = Workload.Chaos.passed outcomes in
+    (match manifest with
+    | Some path ->
+        Diva_obs.Json.to_file path (Workload.Chaos.manifest cfg outcomes);
+        Printf.printf "manifest -> %s\n" path
+    | None -> ());
+    let total f = List.fold_left (fun acc o -> acc + f o) 0 outcomes in
+    Printf.printf "chaos: %d runs, %d messages lost, %d retransmits: %s\n"
+      (List.length outcomes)
+      (total (fun o -> o.Workload.Chaos.lost))
+      (total (fun o -> o.Workload.Chaos.retransmits))
+      (if ok then "all coherent, all deterministic" else "FAILED");
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Fault-injection campaign validated by a coherence oracle")
+    Term.(
+      const run $ mesh $ schedules $ seed_t $ ops $ vars $ lock_every
+      $ read_ratio $ no_verify $ manifest $ smoke)
+
 let () =
   let doc = "DIVA: simulated data management in mesh networks (SPAA'99)" in
   let info = Cmd.info "divasim" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ matmul_cmd; bitonic_cmd; nbody_cmd; workload_cmd ]))
+       (Cmd.group info
+          [ matmul_cmd; bitonic_cmd; nbody_cmd; workload_cmd; chaos_cmd ]))

@@ -2,8 +2,10 @@ module Deco = Diva_mesh.Decomposition
 module Embedding = Diva_mesh.Embedding
 module Network = Diva_simnet.Network
 module Machine = Diva_simnet.Machine
+module Sim = Diva_simnet.Sim
 module Prng = Diva_util.Prng
 module Trace = Diva_obs.Trace
+module Faults = Diva_faults.Faults
 
 type strategy =
   | Access_tree of {
@@ -120,6 +122,38 @@ let create_var t ?name ~owner ~size init =
          { ts = Network.now t.network; var = id; var_name = name; size; owner });
   { v; inj; proj }
 
+(* Blocking protocol operation with graceful degradation under faults: a
+   watchdog fires after [patience] microseconds (doubling on every
+   further firing, capped at 2^6) while the fiber stays blocked, and
+   forces early retransmission of the issuing processor's stale pending
+   envelopes. Re-driving the transport instead of re-issuing the
+   transaction keeps exactly-once semantics — a re-issued write could
+   commit twice; losses at other protocol nodes along the transaction are
+   covered by their own retry timers. Without faults this is exactly
+   [Network.suspend]. *)
+let blocking_op t p register =
+  match Network.faults t.network with
+  | None -> Network.suspend register
+  | Some f ->
+      let net = t.network in
+      let settled = ref false in
+      let rec arm k =
+        Sim.schedule (Network.sim net)
+          (Network.now net
+          +. (Faults.patience f *. Float.of_int (1 lsl min k 6)))
+          (fun () ->
+            if not !settled then begin
+              Faults.count_dsm_reissue f;
+              Network.nudge net ~src:p;
+              arm (k + 1)
+            end)
+      in
+      arm 0;
+      Network.suspend (fun resume ->
+          register (fun v ->
+              settled := true;
+              resume v))
+
 (* One shared-memory operation span: [ts] is the issue time, [dur] the
    fiber's blocking latency (0 for hits). Emission happens after the
    operation completes, so the event never interleaves with the protocol. *)
@@ -153,7 +187,7 @@ let read t p var =
     Network.flush_charge t.network p;
     let t0 = Network.now t.network in
     let packed =
-      Network.suspend (fun resume ->
+      blocking_op t p (fun resume ->
           match t.impl with
           | Tree at -> Access_tree.read at p var.v ~k:resume
           | Home fh -> Fixed_home.read fh p var.v ~k:resume)
@@ -179,7 +213,7 @@ let write t p var x =
   else begin
     Network.flush_charge t.network p;
     let t0 = Network.now t.network in
-    Network.suspend (fun resume ->
+    blocking_op t p (fun resume ->
         let k () = resume () in
         match t.impl with
         | Tree at -> Access_tree.write at p var.v value ~k
@@ -190,7 +224,7 @@ let write t p var x =
 let lock t p var =
   Network.flush_charge t.network p;
   let t0 = Network.now t.network in
-  Network.suspend (fun resume ->
+  blocking_op t p (fun resume ->
       let k () = resume () in
       match t.impl with
       | Tree at -> Access_tree.lock at p var.v ~k
@@ -207,7 +241,7 @@ let unlock t p var =
 let barrier t p =
   Network.flush_charge t.network p;
   let t0 = Network.now t.network in
-  Network.suspend (fun resume -> Sync.barrier t.sync p ~k:resume);
+  blocking_op t p (fun resume -> Sync.barrier t.sync p ~k:resume);
   trace_op t p None Trace.Barrier ~t0 ~hit:false
 
 type 'a reducer = { red : 'a Sync.reducer; red_size : int }
@@ -217,7 +251,7 @@ let reducer t ~combine ~size = { red = Sync.reducer t.sync ~combine ~size; red_s
 let reduce t p r x =
   Network.flush_charge t.network p;
   let t0 = Network.now t.network in
-  let y = Network.suspend (fun resume -> Sync.reduce t.sync r.red p x ~k:resume) in
+  let y = blocking_op t p (fun resume -> Sync.reduce t.sync r.red p x ~k:resume) in
   trace_op ~size:r.red_size t p None Trace.Reduce ~t0 ~hit:false;
   y
 

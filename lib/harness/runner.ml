@@ -30,17 +30,27 @@ type obs = {
   obs_trace : Diva_obs.Trace.sink;
   obs_metrics : Diva_obs.Metrics.t option;
   obs_sample_interval : float;
+  obs_faults : Diva_faults.Schedule.t;
 }
 
 let null_obs =
   { obs_trace = Diva_obs.Trace.null; obs_metrics = None;
-    obs_sample_interval = 1000.0 }
+    obs_sample_interval = 1000.0; obs_faults = Diva_faults.Schedule.empty }
 
 let install_obs net obs =
+  (* Faults first: the gauges attach_metrics registers depend on whether
+     an injector is installed. Empty schedules install nothing. *)
+  Network.set_faults net (Diva_faults.Faults.create obs.obs_faults);
   Network.set_trace net obs.obs_trace;
   match obs.obs_metrics with
   | Some m -> Network.attach_metrics net ~interval:obs.obs_sample_interval m
   | None -> ()
+
+let fault_fields net =
+  match Network.faults net with
+  | None -> []
+  | Some f ->
+      [ ("faults", Diva_obs.Json.Obj (Diva_faults.Faults.report_fields f)) ]
 
 let measurement_fields (m : measurements) =
   let open Diva_obs.Json in

@@ -31,9 +31,17 @@ type obs = {
   obs_trace : Diva_obs.Trace.sink;
   obs_metrics : Diva_obs.Metrics.t option;
   obs_sample_interval : float;
+  obs_faults : Diva_faults.Schedule.t;
+      (** fault schedule installed before the run; {!Diva_faults.Schedule.empty}
+          (the default) injects nothing and leaves the run bit-identical *)
 }
 
 val null_obs : obs
+
+val fault_fields : Diva_simnet.Network.t -> (string * Diva_obs.Json.t) list
+(** The run report's [faults] section: empty without an installed fault
+    schedule, otherwise one ["faults"] object with the schedule summary,
+    loss/retransmission counters and DSM re-issue count. *)
 
 val measurement_fields : measurements -> (string * Diva_obs.Json.t) list
 (** All measurement fields as JSON key/values (run manifests, BENCH files). *)

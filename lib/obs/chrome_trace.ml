@@ -16,6 +16,11 @@ let reason_name = function
   | Trace.Invalidated -> "invalidated"
   | Trace.Evicted -> "evicted"
 
+let loss_name = function
+  | Trace.Loss_random -> "random"
+  | Trace.Loss_link_down -> "link-down"
+  | Trace.Loss_crashed -> "crashed"
+
 let ev ~name ~cat ~ph ~ts ~pid ~tid extra =
   Obj
     ([
@@ -84,6 +89,17 @@ let of_event ~net_pid = function
         ~name:(Printf.sprintf "remap %s@%d" var_name tnode)
         ~cat:"remap" ~ts ~pid:from_node ~tid:tid_dsm
         [ ("var", Int var); ("level", Int level); ("to", Int to_node) ]
+  | Trace.Msg_lost { ts; src; dst; size; reason } ->
+      instant
+        ~name:(Printf.sprintf "lost -> %d (%s)" dst (loss_name reason))
+        ~cat:"faults" ~ts ~pid:src ~tid:tid_msgs
+        [ ("dst", Int dst); ("size", Int size);
+          ("reason", String (loss_name reason)) ]
+  | Trace.Msg_retry { ts; src; dst; size; attempt } ->
+      instant
+        ~name:(Printf.sprintf "retry -> %d (#%d)" dst attempt)
+        ~cat:"faults" ~ts ~pid:src ~tid:tid_msgs
+        [ ("dst", Int dst); ("size", Int size); ("attempt", Int attempt) ]
 
 let to_json ?(metadata = []) ~num_nodes events =
   let net_pid = num_nodes in
@@ -106,7 +122,9 @@ let to_json ?(metadata = []) ~num_nodes events =
       | Trace.Copy_drop { node; _ } ->
           node_used.(node) <- true
       | Trace.Var_decl { owner; _ } -> node_used.(owner) <- true
-      | Trace.Remap { from_node; _ } -> node_used.(from_node) <- true)
+      | Trace.Remap { from_node; _ } -> node_used.(from_node) <- true
+      | Trace.Msg_lost { src; _ } | Trace.Msg_retry { src; _ } ->
+          node_used.(src) <- true)
     sorted;
   let metas = ref [] in
   if Hashtbl.length links > 0 then begin

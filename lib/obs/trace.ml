@@ -2,6 +2,8 @@ type dsm_op = Read | Write | Lock | Unlock | Barrier | Reduce
 
 type drop_reason = Invalidated | Evicted
 
+type loss_reason = Loss_random | Loss_link_down | Loss_crashed
+
 type event =
   | Msg_send of { ts : float; src : int; dst : int; size : int; local : bool }
   | Msg_deliver of { ts : float; src : int; dst : int; size : int }
@@ -56,6 +58,14 @@ type event =
       from_node : int;
       to_node : int;
     }
+  | Msg_lost of {
+      ts : float;
+      src : int;
+      dst : int;
+      size : int;
+      reason : loss_reason;
+    }
+  | Msg_retry of { ts : float; src : int; dst : int; size : int; attempt : int }
 
 let timestamp = function
   | Msg_send { ts; _ } -> ts
@@ -66,6 +76,8 @@ let timestamp = function
   | Copy_add { ts; _ } -> ts
   | Copy_drop { ts; _ } -> ts
   | Remap { ts; _ } -> ts
+  | Msg_lost { ts; _ } -> ts
+  | Msg_retry { ts; _ } -> ts
 
 type sink = {
   on : bool;

@@ -18,6 +18,11 @@ type drop_reason =
   | Invalidated  (** removed by a write's invalidation wave *)
   | Evicted  (** removed by LRU replacement under bounded memory *)
 
+type loss_reason =
+  | Loss_random  (** probabilistic message drop (fault schedule) *)
+  | Loss_link_down  (** the route crossed a link during an outage window *)
+  | Loss_crashed  (** the destination was inside a crash-stop window *)
+
 type event =
   | Msg_send of { ts : float; src : int; dst : int; size : int; local : bool }
       (** A message enters the network at [ts] (CPU injection time not
@@ -88,6 +93,18 @@ type event =
     }
       (** FOCS'97 variant: tree node [tnode] migrated to a fresh random
           processor of its submesh. *)
+  | Msg_lost of {
+      ts : float;
+      src : int;
+      dst : int;
+      size : int;
+      reason : loss_reason;
+    }
+      (** A physical transmission was lost to an injected fault at [ts]
+          (see {!Diva_faults}); the reliable envelope retransmits it. *)
+  | Msg_retry of { ts : float; src : int; dst : int; size : int; attempt : int }
+      (** The reliable envelope retransmitted an unacknowledged message;
+          [attempt] is 1 for the first retransmission. *)
 
 val timestamp : event -> float
 (** Primary timestamp of the event ([start] for {!Link_xfer}). *)

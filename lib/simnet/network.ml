@@ -2,6 +2,7 @@ module Prng = Diva_util.Prng
 module Mesh = Diva_mesh.Mesh
 module Trace = Diva_obs.Trace
 module Metrics = Diva_obs.Metrics
+module Faults = Diva_faults.Faults
 
 type payload = ..
 type payload += Empty
@@ -10,7 +11,30 @@ type msg = { m_src : Mesh.node; m_dst : Mesh.node; m_size : int; m_payload : pay
 
 type waiter = { w_filter : msg -> bool; w_resume : msg -> unit }
 
-type mailbox = { mutable inbox : msg list (* oldest first *); mutable waiters : waiter list }
+type mailbox = { inbox : msg Queue.t (* oldest first *); mutable waiters : waiter list }
+
+(* Reliable-delivery envelope, used only while a fault schedule is
+   installed. Payloads are wrapped in [Env] and acknowledged with [Ack];
+   unacknowledged envelopes retransmit on an exponential-backoff timer.
+   At-least-once transmission plus the receiver-side seen-set gives
+   exactly-once handling. Both constructors are private to this module. *)
+type payload += Env of { seq : int; inner : payload } | Ack of { seq : int }
+
+type pend = {
+  p_src : Mesh.node;
+  p_dst : Mesh.node;
+  p_size : int;
+  p_inner : payload;
+  mutable p_attempt : int;
+  mutable p_last_tx : float;  (* start of the most recent transmission *)
+}
+
+type reliable = {
+  rl_faults : Faults.t;
+  mutable rl_next_seq : int;
+  rl_pending : (int, pend) Hashtbl.t;  (* unacked envelopes by seq *)
+  rl_seen : (int, unit) Hashtbl.t;  (* seqs already handed to a handler *)
+}
 
 type t = {
   sim : Sim.t;
@@ -28,6 +52,7 @@ type t = {
   mutable startup_count : int;
   mutable fibers : int;
   mutable trace : Trace.sink;
+  mutable rel : reliable option;  (* Some iff an active fault schedule is installed *)
 }
 
 let default_handler t msg =
@@ -35,7 +60,7 @@ let default_handler t msg =
   let rec try_waiters acc = function
     | [] ->
         mb.waiters <- List.rev acc;
-        mb.inbox <- mb.inbox @ [ msg ]
+        Queue.add msg mb.inbox
     | w :: rest ->
         if w.w_filter msg then begin
           mb.waiters <- List.rev_append acc rest;
@@ -60,11 +85,12 @@ let create_nd ?(machine = Machine.gcel) ?(seed = 42) ~dims () =
     pending_compute = Array.make n 0.0;
     node_compute = Array.make n 0.0;
     handlers = Array.make n default_handler;
-    mailboxes = Array.init n (fun _ -> { inbox = []; waiters = [] });
+    mailboxes = Array.init n (fun _ -> { inbox = Queue.create (); waiters = [] });
     node_startup_count = Array.make n 0;
     startup_count = 0;
     fibers = 0;
     trace = Trace.null;
+    rel = None;
   }
 
 let create ?machine ?seed ~rows ~cols () =
@@ -87,6 +113,24 @@ let compute_times t = Array.copy t.node_compute
 let live_fibers t = t.fibers
 let trace t = t.trace
 let set_trace t sink = t.trace <- sink
+
+let set_faults t f =
+  (* Installing the empty schedule is a no-op: every query degenerates to
+     the identity, so the run stays bit-identical to a fault-free one and
+     we keep the (cheaper, envelope-free) legacy send path. *)
+  if Faults.active f then begin
+    if t.rel <> None then invalid_arg "Network.set_faults: faults already installed";
+    t.rel <-
+      Some
+        {
+          rl_faults = f;
+          rl_next_seq = 0;
+          rl_pending = Hashtbl.create 256;
+          rl_seen = Hashtbl.create 1024;
+        }
+  end
+
+let faults t = Option.map (fun r -> r.rl_faults) t.rel
 
 (* Standard observability gauges plus a periodic sampler on the simulated
    clock. Sampling only reads state (the Sim advance hook schedules
@@ -111,6 +155,16 @@ let attach_metrics t ?(interval = 1000.0) m =
   Metrics.gauge m "total_compute"
     (fun () -> Array.fold_left ( +. ) 0.0 t.node_compute);
   Metrics.gauge m "live_fibers" (fun () -> float_of_int t.fibers);
+  (match t.rel with
+  | None -> ()
+  | Some rel ->
+      let f = rel.rl_faults in
+      Metrics.gauge m "faults_lost"
+        (fun () -> float_of_int (Faults.lost_total f));
+      Metrics.gauge m "faults_retransmits"
+        (fun () -> float_of_int (Faults.retransmits f));
+      Metrics.gauge m "faults_pending"
+        (fun () -> float_of_int (Hashtbl.length rel.rl_pending)));
   let next = ref interval in
   Sim.set_advance_hook t.sim (fun _old_clock new_clock ->
       while !next <= new_clock do
@@ -124,14 +178,161 @@ let reserve_cpu t node ~from dt =
   let pending = t.pending_compute.(node) in
   t.pending_compute.(node) <- 0.0;
   let start = Float.max from t.cpu_free.(node) in
+  let start =
+    match t.rel with
+    | Some r -> Faults.defer r.rl_faults ~node start
+    | None -> start
+  in
   let fin = start +. pending +. dt in
   t.cpu_free.(node) <- fin;
   fin
 
-let deliver t msg at =
+let rec deliver t msg at =
   (* Receive overhead on the destination CPU, then the handler runs. *)
   let handle_at = reserve_cpu t msg.m_dst ~from:at t.machine.Machine.recv_overhead in
-  Sim.schedule t.sim handle_at (fun () -> t.handlers.(msg.m_dst) t msg)
+  Sim.schedule t.sim handle_at (fun () -> dispatch t msg)
+
+(* Envelope layer between physical delivery and the node handler. Without
+   installed faults this is exactly the legacy handler call. *)
+and dispatch t msg =
+  match t.rel with
+  | None -> t.handlers.(msg.m_dst) t msg
+  | Some rel -> (
+      match msg.m_payload with
+      | Ack { seq } ->
+          if Hashtbl.mem rel.rl_pending seq then begin
+            Hashtbl.remove rel.rl_pending seq;
+            Faults.count_ack rel.rl_faults
+          end
+      | Env { seq; inner } ->
+          (* Always (re-)acknowledge — the previous ack may have been lost —
+             but hand only the first copy to the handler. *)
+          ignore
+            (transmit t rel
+               { m_src = msg.m_dst; m_dst = msg.m_src;
+                 m_size = Faults.ack_size; m_payload = Ack { seq } }
+              : float);
+          if not (Hashtbl.mem rel.rl_seen seq) then begin
+            Hashtbl.add rel.rl_seen seq ();
+            t.handlers.(msg.m_dst) t { msg with m_payload = inner }
+          end
+      | _ -> t.handlers.(msg.m_dst) t msg)
+
+(* One physical transmission attempt under an installed fault schedule:
+   same wormhole model as the fault-free path, plus per-link slowdown
+   factors, outage and crash-window loss, and seeded probabilistic loss.
+   Lost messages are traced and counted, never delivered. Returns the
+   attempt's outcome time — delivery or loss — so retry timers can be
+   armed from when the attempt actually resolved rather than when it was
+   injected (a message queued behind congested links must not be
+   retransmitted while still in flight: that feedback loop melts the
+   network). *)
+and transmit t rel msg =
+  let f = rel.rl_faults in
+  let src = msg.m_src and dst = msg.m_dst and size = msg.m_size in
+  (* Acks are modelled as hardware-level control messages: they occupy
+     links like any flit but cost no CPU overhead on either side and do
+     not count as startups. Charging the full 500 us send/recv overhead
+     per ack doubles the CPU load of every hot protocol node, which
+     inflates latencies past the retry timeout and feeds a spurious
+     retransmission spiral. *)
+  let is_ack = match msg.m_payload with Ack _ -> true | _ -> false in
+  let inject_at =
+    if is_ack then Faults.defer f ~node:src (now t)
+    else begin
+      t.startup_count <- t.startup_count + 1;
+      t.node_startup_count.(src) <- t.node_startup_count.(src) + 1;
+      reserve_cpu t src ~from:(now t) t.machine.Machine.send_overhead
+    end
+  in
+  if Faults.draw_drop f ~now:inject_at then begin
+    Faults.count_lost f Trace.Loss_random;
+    if Trace.enabled t.trace then
+      Trace.emit t.trace
+        (Trace.Msg_lost
+           { ts = inject_at; src; dst; size; reason = Trace.Loss_random });
+    inject_at
+  end
+  else begin
+    let arrival = ref inject_at in
+    let last_start = ref inject_at in
+    let last_occupancy = ref 0.0 in
+    let lost_at = ref None in
+    Mesh.iter_route t.mesh ~src ~dst (fun link ->
+        if !lost_at = None then begin
+          let start = Float.max !arrival t.link_free.(link) in
+          if Faults.link_down f ~link ~now:start then begin
+            lost_at := Some start;
+            Faults.count_lost f Trace.Loss_link_down;
+            if Trace.enabled t.trace then
+              Trace.emit t.trace
+                (Trace.Msg_lost
+                   { ts = start; src; dst; size; reason = Trace.Loss_link_down })
+          end
+          else begin
+            let occupancy =
+              Machine.transfer_time t.machine size
+              *. Faults.link_factor f ~link ~now:start
+            in
+            t.link_free.(link) <- start +. occupancy;
+            Link_stats.record t.stats ~link ~bytes:size;
+            if Trace.enabled t.trace then
+              Trace.emit t.trace
+                (Trace.Link_xfer
+                   { start; finish = start +. occupancy; link; src; dst; size });
+            last_start := start;
+            last_occupancy := occupancy;
+            arrival := start +. t.machine.Machine.hop_latency
+          end
+        end);
+    match !lost_at with
+    | Some ts -> ts
+    | None ->
+        let delivered_at = !last_start +. !last_occupancy in
+        if Faults.crashed f ~node:dst ~now:delivered_at then begin
+          Faults.count_lost f Trace.Loss_crashed;
+          if Trace.enabled t.trace then
+            Trace.emit t.trace
+              (Trace.Msg_lost
+                 { ts = delivered_at; src; dst; size;
+                   reason = Trace.Loss_crashed })
+        end
+        else begin
+          if Trace.enabled t.trace then
+            Trace.emit t.trace
+              (Trace.Msg_deliver { ts = delivered_at; src; dst; size });
+          if is_ack then Sim.schedule t.sim delivered_at (fun () -> dispatch t msg)
+          else deliver t msg delivered_at
+        end;
+        delivered_at
+  end
+
+(* Retransmission timer, armed from the attempt's outcome time [from]
+   (delivery or loss) with exponential backoff capped at rto * 2^6. The
+   captured attempt number makes stale timers (superseded by an earlier
+   retransmit, e.g. a watchdog nudge) no-ops. *)
+and arm_timeout t rel seq p ~from =
+  let attempt = p.p_attempt in
+  let backoff = Faults.rto rel.rl_faults *. Float.of_int (1 lsl min attempt 6) in
+  Sim.schedule t.sim (from +. backoff) (fun () ->
+      if Hashtbl.mem rel.rl_pending seq && p.p_attempt = attempt then
+        retransmit t rel seq p)
+
+and retransmit t rel seq p =
+  p.p_attempt <- p.p_attempt + 1;
+  p.p_last_tx <- now t;
+  Faults.count_retransmit rel.rl_faults;
+  if Trace.enabled t.trace then
+    Trace.emit t.trace
+      (Trace.Msg_retry
+         { ts = now t; src = p.p_src; dst = p.p_dst; size = p.p_size;
+           attempt = p.p_attempt });
+  let outcome =
+    transmit t rel
+      { m_src = p.p_src; m_dst = p.p_dst; m_size = p.p_size;
+        m_payload = Env { seq; inner = p.p_inner } }
+  in
+  arm_timeout t rel seq p ~from:outcome
 
 let send t ~src ~dst ~size payload =
   let msg = { m_src = src; m_dst = dst; m_size = size; m_payload = payload } in
@@ -143,35 +344,71 @@ let send t ~src ~dst ~size payload =
     let at = reserve_cpu t src ~from:(now t) t.machine.Machine.local_overhead in
     Sim.schedule t.sim at (fun () -> t.handlers.(dst) t msg)
   end
-  else begin
-    if Trace.enabled t.trace then
-      Trace.emit t.trace
-        (Trace.Msg_send { ts = now t; src; dst; size; local = false });
-    t.startup_count <- t.startup_count + 1;
-    t.node_startup_count.(src) <- t.node_startup_count.(src) + 1;
-    let inject_at = reserve_cpu t src ~from:(now t) t.machine.Machine.send_overhead in
-    let occupancy = Machine.transfer_time t.machine size in
-    (* Eager wormhole approximation: the header advances hop by hop, each
-       link is occupied for the full transfer time, the tail leaves the last
-       link [occupancy] after the header entered it. *)
-    let arrival = ref inject_at in
-    let last_start = ref inject_at in
-    Mesh.iter_route t.mesh ~src ~dst (fun link ->
-        let start = Float.max !arrival t.link_free.(link) in
-        t.link_free.(link) <- start +. occupancy;
-        Link_stats.record t.stats ~link ~bytes:size;
+  else
+    match t.rel with
+    | Some rel ->
         if Trace.enabled t.trace then
           Trace.emit t.trace
-            (Trace.Link_xfer
-               { start; finish = start +. occupancy; link; src; dst; size });
-        last_start := start;
-        arrival := start +. t.machine.Machine.hop_latency);
-    let delivered_at = !last_start +. occupancy in
-    if Trace.enabled t.trace then
-      Trace.emit t.trace
-        (Trace.Msg_deliver { ts = delivered_at; src; dst; size });
-    deliver t msg delivered_at
-  end
+            (Trace.Msg_send { ts = now t; src; dst; size; local = false });
+        let seq = rel.rl_next_seq in
+        rel.rl_next_seq <- seq + 1;
+        Faults.count_enveloped rel.rl_faults;
+        let p = { p_src = src; p_dst = dst; p_size = size; p_inner = payload;
+                  p_attempt = 0; p_last_tx = now t } in
+        Hashtbl.add rel.rl_pending seq p;
+        let outcome =
+          transmit t rel { msg with m_payload = Env { seq; inner = payload } }
+        in
+        arm_timeout t rel seq p ~from:outcome
+    | None -> begin
+        if Trace.enabled t.trace then
+          Trace.emit t.trace
+            (Trace.Msg_send { ts = now t; src; dst; size; local = false });
+        t.startup_count <- t.startup_count + 1;
+        t.node_startup_count.(src) <- t.node_startup_count.(src) + 1;
+        let inject_at = reserve_cpu t src ~from:(now t) t.machine.Machine.send_overhead in
+        let occupancy = Machine.transfer_time t.machine size in
+        (* Eager wormhole approximation: the header advances hop by hop, each
+           link is occupied for the full transfer time, the tail leaves the last
+           link [occupancy] after the header entered it. *)
+        let arrival = ref inject_at in
+        let last_start = ref inject_at in
+        Mesh.iter_route t.mesh ~src ~dst (fun link ->
+            let start = Float.max !arrival t.link_free.(link) in
+            t.link_free.(link) <- start +. occupancy;
+            Link_stats.record t.stats ~link ~bytes:size;
+            if Trace.enabled t.trace then
+              Trace.emit t.trace
+                (Trace.Link_xfer
+                   { start; finish = start +. occupancy; link; src; dst; size });
+            last_start := start;
+            arrival := start +. t.machine.Machine.hop_latency);
+        let delivered_at = !last_start +. occupancy in
+        if Trace.enabled t.trace then
+          Trace.emit t.trace
+            (Trace.Msg_deliver { ts = delivered_at; src; dst; size });
+        deliver t msg delivered_at
+      end
+
+(* Forced early retransmission of the envelopes still pending from [src],
+   in seq order for determinism. The DSM watchdog calls this when a
+   transaction has been blocked longer than the schedule's patience —
+   cheaper and safer than re-issuing the transaction itself, which could
+   double-commit a write. Only envelopes idle for at least one rto are
+   touched: retransmitting a message that is merely queued behind
+   congested links would amplify the very congestion that delayed it. *)
+let nudge t ~src =
+  match t.rel with
+  | None -> ()
+  | Some rel ->
+      let stale_before = now t -. Faults.rto rel.rl_faults in
+      Hashtbl.fold
+        (fun seq p acc ->
+          if p.p_src = src && p.p_last_tx <= stale_before then (seq, p) :: acc
+          else acc)
+        rel.rl_pending []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.iter (fun (seq, p) -> retransmit t rel seq p)
 
 (* ------------------------------------------------------------------ *)
 (* Fibers                                                              *)
@@ -218,17 +455,22 @@ let flush_charge t node =
 
 let recv t node ?(where = fun _ -> true) () =
   let mb = t.mailboxes.(node) in
-  let rec remove_first = function
-    | [] -> None
-    | m :: rest ->
-        if where m then Some (m, rest)
-        else
-          Option.map (fun (found, rest') -> (found, m :: rest')) (remove_first rest)
+  (* Remove the oldest matching message. The common case (unfiltered recv)
+     matches the queue head immediately; a filtered miss rotates the
+     scanned prefix through a scratch queue, preserving FIFO order. *)
+  let remove_first () =
+    let scanned = Queue.create () in
+    let found = ref None in
+    while !found = None && not (Queue.is_empty mb.inbox) do
+      let m = Queue.pop mb.inbox in
+      if where m then found := Some m else Queue.add m scanned
+    done;
+    Queue.transfer mb.inbox scanned;
+    Queue.transfer scanned mb.inbox;
+    !found
   in
-  match remove_first mb.inbox with
-  | Some (m, rest) ->
-      mb.inbox <- rest;
-      m
+  match remove_first () with
+  | Some m -> m
   | None ->
       suspend (fun resume ->
           mb.waiters <- mb.waiters @ [ { w_filter = where; w_resume = resume } ])

@@ -113,8 +113,39 @@ val set_trace : t -> Diva_obs.Trace.sink -> unit
 
 val attach_metrics : t -> ?interval:float -> Diva_obs.Metrics.t -> unit
 (** Register the standard gauges (link congestion and load, busy links and
-    CPUs, startups, accumulated compute, live fibers) on the registry and
-    sample them every [interval] simulated microseconds (default 1000)
-    while the simulation runs. Sample timestamps are the exact boundaries
-    [interval], [2*interval], ...; values reflect the state after the last
-    event before each boundary. *)
+    CPUs, startups, accumulated compute, live fibers — plus lost messages,
+    retransmits and pending envelopes when faults are installed) on the
+    registry and sample them every [interval] simulated microseconds
+    (default 1000) while the simulation runs. Sample timestamps are the
+    exact boundaries [interval], [2*interval], ...; values reflect the
+    state after the last event before each boundary. *)
+
+(** {2 Fault injection}
+
+    With a fault schedule installed (see {!Diva_faults}), remote sends are
+    wrapped in a reliable-delivery envelope: each message carries a
+    sequence number, is acknowledged by the receiver, and retransmits on
+    an exponential-backoff timer ([rto_us * 2^min(attempt, 6)]) until the
+    ack arrives. Duplicates created by retransmission are filtered by a
+    receiver-side seen-set, so handlers still observe each payload exactly
+    once. Link slowdowns stretch per-link occupancy; outages, crash
+    windows and probabilistic drops lose individual transmissions (traced
+    as [Msg_lost]); node pause/crash windows defer all CPU activity to the
+    window end.
+
+    Installing {!Diva_faults.Schedule.empty} is a no-op: the run stays
+    bit-identical to an uninstrumented one, envelope and all. *)
+
+val set_faults : t -> Diva_faults.Faults.t -> unit
+(** Install a fault injector. Must be called before any traffic (and
+    before {!attach_metrics} if fault gauges are wanted); at most one
+    active injector per network, or [Invalid_argument]. *)
+
+val faults : t -> Diva_faults.Faults.t option
+(** The installed injector, if any ([None] for empty schedules). *)
+
+val nudge : t -> src:Diva_mesh.Mesh.node -> unit
+(** Retransmit every unacknowledged envelope originated by [src] now, in
+    sequence order, resetting their backoff. No-op without faults. Used by
+    the DSM watchdog to unblock transactions that have waited longer than
+    the schedule's patience. *)

@@ -1,10 +1,7 @@
 (** Min-priority queue with [float] priorities, used as the simulator's event
     queue. Implemented as a binary min-heap. Insertion order among equal
     priorities is preserved (FIFO), which makes simulation runs
-    deterministic.
-
-    This module was historically named [Pairing_heap], which misdescribed
-    the data structure; {!Pairing_heap} remains as a deprecated alias. *)
+    deterministic. *)
 
 type 'a t
 

@@ -1,0 +1,184 @@
+module Schedule = Diva_faults.Schedule
+module Faults = Diva_faults.Faults
+module Network = Diva_simnet.Network
+module Dsm = Diva_core.Dsm
+module Runner = Diva_harness.Runner
+module Json = Diva_obs.Json
+module Mesh = Diva_mesh.Mesh
+
+type config = {
+  dims : int array;
+  schedules : int;
+  seed : int;
+  ops : int;
+  num_vars : int;
+  lock_every : int;
+  read_ratio : float;
+  verify_determinism : bool;
+}
+
+let default =
+  {
+    dims = [| 4; 4 |];
+    schedules = 10;
+    seed = 42;
+    ops = 60;
+    num_vars = 24;
+    lock_every = 4;
+    read_ratio = 0.7;
+    verify_determinism = true;
+  }
+
+type outcome = {
+  index : int;
+  schedule : Schedule.t;
+  strategy : string;
+  time : float;
+  ops_checked : int;
+  lost : int;
+  retransmits : int;
+  reissues : int;
+  oracle_error : string option;
+  deterministic : bool option;
+}
+
+let strategies =
+  [ ("fixed-home", Dsm.Fixed_home); ("tree-4", Dsm.access_tree ~arity:4 ()) ]
+
+let spec_of cfg =
+  Spec.make ~num_vars:cfg.num_vars ~lock_every:cfg.lock_every
+    ~phases:[ Spec.phase ~read_ratio:cfg.read_ratio cfg.ops ]
+    ~seed:cfg.seed ()
+
+(* Everything one run exposes that a deterministic re-run must reproduce:
+   the paper's measurements, the fault counters and the oracle's view of
+   the history. Compared structurally (scalars only). *)
+type run_stats = {
+  rs_m : Runner.measurements;
+  rs_lost : int;
+  rs_retransmits : int;
+  rs_reissues : int;
+  rs_ops : int;
+  rs_oracle : (unit, string) result;
+}
+
+let one_run cfg sched strategy =
+  let oracle = Oracle.create () in
+  let obs = { Runner.null_obs with Runner.obs_faults = sched } in
+  let captured = ref None in
+  let on_net net = captured := Network.faults net in
+  let r =
+    Generator.run ~obs ~on_net ~oracle ~dims:cfg.dims ~strategy (spec_of cfg)
+  in
+  let lost, retransmits, reissues =
+    match !captured with
+    | Some f -> (Faults.lost_total f, Faults.retransmits f, Faults.dsm_reissues f)
+    | None -> (0, 0, 0)
+  in
+  {
+    rs_m = r.Generator.measurements;
+    rs_lost = lost;
+    rs_retransmits = retransmits;
+    rs_reissues = reissues;
+    rs_ops = Oracle.ops oracle;
+    rs_oracle = Oracle.check oracle;
+  }
+
+let same_run a b =
+  a.rs_m = b.rs_m && a.rs_lost = b.rs_lost
+  && a.rs_retransmits = b.rs_retransmits
+  && a.rs_reissues = b.rs_reissues && a.rs_ops = b.rs_ops
+
+let run ?(progress = fun _ -> ()) cfg =
+  if cfg.schedules <= 0 then
+    invalid_arg "Chaos.run: schedule count must be positive";
+  let mesh = Mesh.create_nd ~dims:cfg.dims in
+  let num_nodes = Mesh.num_nodes mesh and num_links = Mesh.num_links mesh in
+  let outcomes = ref [] in
+  for i = 0 to cfg.schedules - 1 do
+    let sched =
+      Schedule.generate ~seed:(cfg.seed + i) ~num_nodes ~num_links ()
+    in
+    List.iter
+      (fun (sname, strategy) ->
+        let s = one_run cfg sched strategy in
+        let deterministic =
+          if cfg.verify_determinism then
+            Some (same_run s (one_run cfg sched strategy))
+          else None
+        in
+        let o =
+          {
+            index = i;
+            schedule = sched;
+            strategy = sname;
+            time = s.rs_m.Runner.time;
+            ops_checked = s.rs_ops;
+            lost = s.rs_lost;
+            retransmits = s.rs_retransmits;
+            reissues = s.rs_reissues;
+            oracle_error =
+              (match s.rs_oracle with Ok () -> None | Error e -> Some e);
+            deterministic;
+          }
+        in
+        progress
+          (Printf.sprintf
+             "schedule %2d [%s] x %-10s  %5d ops  %3d lost  %4d retx  \
+              oracle %s%s"
+             i (Schedule.describe sched) sname o.ops_checked o.lost
+             o.retransmits
+             (match o.oracle_error with None -> "ok" | Some _ -> "VIOLATION")
+             (match deterministic with
+             | Some true -> ", deterministic"
+             | Some false -> ", NON-DETERMINISTIC"
+             | None -> ""));
+        outcomes := o :: !outcomes)
+      strategies
+  done;
+  List.rev !outcomes
+
+let passed outcomes =
+  List.for_all
+    (fun o -> o.oracle_error = None && o.deterministic <> Some false)
+    outcomes
+
+let manifest cfg outcomes =
+  Json.Obj
+    [
+      ("format", Json.String "diva-chaos");
+      ("version", Json.Int 1);
+      ( "dims",
+        Json.List (Array.to_list (Array.map (fun d -> Json.Int d) cfg.dims)) );
+      ("seed", Json.Int cfg.seed);
+      ("schedules", Json.Int cfg.schedules);
+      ("ops_per_proc", Json.Int cfg.ops);
+      ("num_vars", Json.Int cfg.num_vars);
+      ("lock_every", Json.Int cfg.lock_every);
+      ("read_ratio", Json.Float cfg.read_ratio);
+      ("passed", Json.Bool (passed outcomes));
+      ( "runs",
+        Json.List
+          (List.map
+             (fun o ->
+               Json.Obj
+                 [
+                   ("schedule_index", Json.Int o.index);
+                   ("strategy", Json.String o.strategy);
+                   ("time_us", Json.Float o.time);
+                   ("ops_checked", Json.Int o.ops_checked);
+                   ("lost", Json.Int o.lost);
+                   ("retransmits", Json.Int o.retransmits);
+                   ("dsm_reissues", Json.Int o.reissues);
+                   ( "oracle",
+                     match o.oracle_error with
+                     | None -> Json.String "ok"
+                     | Some e -> Json.String e );
+                   ( "deterministic",
+                     match o.deterministic with
+                     | None -> Json.Null
+                     | Some b -> Json.Bool b );
+                   ("schedule", Schedule.to_json o.schedule);
+                 ])
+             outcomes) );
+    ]

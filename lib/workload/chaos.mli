@@ -1,0 +1,53 @@
+(** Chaos harness: synthetic workloads under generated fault schedules,
+    every run validated by the coherence {!Oracle}.
+
+    One chaos campaign sweeps [schedules] seed-generated fault schedules
+    ({!Diva_faults.Schedule.generate}, seeds [seed], [seed+1], ...) across
+    both data-management strategies (fixed home and the 4-ary access
+    tree). Each run drives the {!Generator} with an oracle attached; after
+    the run the recorded history is checked for per-variable
+    linearizability, and — when [verify_determinism] is set — the run is
+    repeated and every measurement and fault counter compared, proving
+    that schedule + seed fully determine the execution. *)
+
+type config = {
+  dims : int array;  (** mesh side lengths *)
+  schedules : int;  (** number of generated fault schedules (>= 1) *)
+  seed : int;  (** base seed; schedule [i] uses [seed + i] *)
+  ops : int;  (** data operations per processor per run *)
+  num_vars : int;  (** shared key space size *)
+  lock_every : int;  (** every n-th op runs under the key's lock (0 = never) *)
+  read_ratio : float;  (** probability that an op is a read *)
+  verify_determinism : bool;  (** re-run each case and compare *)
+}
+
+val default : config
+(** 4x4 mesh, 10 schedules from seed 42, 60 ops/proc over 24 keys at read
+    ratio 0.7, a lock every 4th op, determinism verification on. *)
+
+(** Result of one (schedule, strategy) run. *)
+type outcome = {
+  index : int;  (** schedule index within the campaign *)
+  schedule : Diva_faults.Schedule.t;
+  strategy : string;
+  time : float;  (** simulated end-to-end time, microseconds *)
+  ops_checked : int;  (** operations recorded by the oracle *)
+  lost : int;  (** messages lost to injected faults *)
+  retransmits : int;
+  reissues : int;  (** DSM watchdog firings *)
+  oracle_error : string option;  (** [None] = history linearizable *)
+  deterministic : bool option;  (** [None] when verification was off *)
+}
+
+val run : ?progress:(string -> unit) -> config -> outcome list
+(** Execute the campaign; [progress] receives one human-readable line per
+    completed run. Raises [Invalid_argument] on a non-positive
+    [schedules] count. *)
+
+val passed : outcome list -> bool
+(** No oracle violation and no determinism failure in any run. *)
+
+val manifest : config -> outcome list -> Diva_obs.Json.t
+(** Machine-readable campaign report (format ["diva-chaos"], version 1):
+    the configuration, every run's counters and verdicts, and the full
+    fault schedules for replay. *)

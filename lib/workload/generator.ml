@@ -24,18 +24,39 @@ let add_sample s x =
 let proc_rng spec p =
   Prng.create ~seed:(Int64.to_int (Prng.hash2 (Int64.of_int Spec.(spec.seed)) (p + 1)))
 
-let fiber net dsm spec sampler vars samples p =
+let fiber ?oracle net dsm spec sampler vars samples p =
   let rng = proc_rng spec p in
   List.iter
     (fun (ph : Spec.phase) ->
       for i = 1 to ph.Spec.ops do
-        let v = vars.(Sampler.draw sampler ~proc:p rng) in
+        let vi = Sampler.draw sampler ~proc:p rng in
+        let v = vars.(vi) in
         let locked = Spec.(spec.lock_every) > 0 && i mod Spec.(spec.lock_every) = 0 in
         let is_read = Prng.float rng 1.0 < ph.Spec.read_ratio in
         let t0 = Network.now net in
         if locked then Dsm.lock dsm p v;
-        if is_read then ignore (Dsm.read dsm p v : int)
-        else Dsm.write dsm p v (Prng.int rng 1_000_000);
+        (if is_read then begin
+           let x = Dsm.read dsm p v in
+           match oracle with
+           | Some o ->
+               Oracle.record_read o ~var:vi ~proc:p ~value:x ~t0
+                 ~t1:(Network.now net)
+           | None -> ()
+         end
+         else begin
+           (* The draw happens either way, so checked and unchecked runs
+              issue the identical operation sequence; the oracle only
+              substitutes run-unique values for the random ones. *)
+           let drawn = Prng.int rng 1_000_000 in
+           match oracle with
+           | Some o ->
+               let value = Oracle.next_write_value o in
+               let w0 = Network.now net in
+               Dsm.write dsm p v value;
+               Oracle.record_write o ~var:vi ~proc:p ~value ~t0:w0
+                 ~t1:(Network.now net)
+           | None -> Dsm.write dsm p v drawn
+         end);
         if locked then Dsm.unlock dsm p v;
         add_sample samples (Network.now net -. t0);
         if Spec.(spec.barrier_every) > 0 && i mod Spec.(spec.barrier_every) = 0
@@ -48,7 +69,7 @@ let fiber net dsm spec sampler vars samples p =
       Dsm.barrier dsm p)
     Spec.(spec.phases)
 
-let run ?(obs = Runner.null_obs) ?on_net ~dims ~strategy spec =
+let run ?(obs = Runner.null_obs) ?on_net ?oracle ~dims ~strategy spec =
   (match Spec.validate spec with
   | Ok () -> ()
   | Error e -> invalid_arg ("Diva_workload.Generator.run: " ^ e));
@@ -59,6 +80,9 @@ let run ?(obs = Runner.null_obs) ?on_net ~dims ~strategy spec =
   let sampler = Sampler.create (Network.mesh net) spec in
   let vars =
     Array.init Spec.(spec.num_vars) (fun k ->
+        (match oracle with
+        | Some o -> Oracle.init_var o ~var:k ~value:0
+        | None -> ());
         Dsm.create_var dsm
           ~name:(Printf.sprintf "w%d" k)
           ~owner:(k mod procs) ~size:Spec.(spec.var_size) 0)
@@ -67,7 +91,8 @@ let run ?(obs = Runner.null_obs) ?on_net ~dims ~strategy spec =
     { buf = Array.make (max 1 (procs * Spec.total_ops_per_proc spec)) 0.0; n = 0 }
   in
   for p = 0 to procs - 1 do
-    Network.spawn net p (fun () -> fiber net dsm spec sampler vars samples p)
+    Network.spawn net p (fun () ->
+        fiber ?oracle net dsm spec sampler vars samples p)
   done;
   Runner.finish ?on_net ~obs net;
   let m = Runner.collect net (Some dsm) in

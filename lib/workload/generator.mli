@@ -15,6 +15,7 @@ type result = {
 val run :
   ?obs:Diva_harness.Runner.obs ->
   ?on_net:(Diva_simnet.Network.t -> unit) ->
+  ?oracle:Oracle.t ->
   dims:int array ->
   strategy:Diva_core.Dsm.strategy ->
   Spec.t ->
@@ -24,4 +25,11 @@ val run :
     [k mod P]), run the per-processor fibers to completion and report the
     paper's measurements plus the latency/throughput profile. Raises
     [Invalid_argument] on a spec that fails {!Spec.validate} or a
-    locality model inconsistent with the mesh. *)
+    locality model inconsistent with the mesh.
+
+    With [oracle], every completed read and write is recorded against the
+    coherence {!Oracle} as a real-time interval, and writes use
+    {!Oracle.next_write_value} in place of random payloads. The PRNG draw
+    still happens, so a run with an oracle issues the bit-identical
+    operation sequence (keys, op kinds, timing) as the same run without
+    one. *)

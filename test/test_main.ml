@@ -14,4 +14,5 @@ let () =
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);
       ("workload", Test_workload.suite);
+      ("faults", Test_faults.suite);
     ]

@@ -67,7 +67,7 @@ let test_zero_perturbation () =
   let tr = Trace.create () in
   let obs =
     { Runner.obs_trace = tr; obs_metrics = Some metrics;
-      obs_sample_interval = 100.0 }
+      obs_sample_interval = 100.0; obs_faults = Diva_faults.Schedule.empty }
   in
   let instrumented = run_matmul ~obs () in
   Alcotest.(check (float 0.0)) "time" plain.Runner.time

@@ -187,6 +187,30 @@ let test_determinism () =
   let a = run () and b = run () in
   Alcotest.(check bool) "identical runs" true (a = b)
 
+(* A large mailbox burst must stay linear: the inbox is a queue with O(1)
+   append (the old [list @ [msg]] representation was quadratic — 50k
+   messages took minutes). FIFO order is asserted on every message; the
+   generous wall-clock bound only guards against a quadratic regression. *)
+let test_mailbox_burst_linear () =
+  let n = 50_000 in
+  let net = Network.create ~rows:1 ~cols:1 () in
+  let t0 = Sys.time () in
+  for i = 0 to n - 1 do
+    Network.mailbox_deliver net
+      { Network.m_src = 0; m_dst = 0; m_size = 8; m_payload = Ping i }
+  done;
+  let ok = ref 0 in
+  Network.spawn net 0 (fun () ->
+      for i = 0 to n - 1 do
+        match (Network.recv net 0 ()).Network.m_payload with
+        | Ping j when j = i -> incr ok
+        | _ -> ()
+      done);
+  Network.run net;
+  Alcotest.(check int) "all messages in FIFO order" n !ok;
+  Alcotest.(check bool) "burst stays linear (< 5 s cpu)" true
+    (Sys.time () -. t0 < 5.0)
+
 let test_snapshot_diff () =
   let net = Network.create ~rows:1 ~cols:2 () in
   Network.send net ~src:0 ~dst:1 ~size:50 (Ping 1);
@@ -217,5 +241,6 @@ let suite =
     Alcotest.test_case "fiber recv filter" `Quick test_fiber_recv_filter;
     Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
     Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "mailbox burst linear" `Quick test_mailbox_burst_linear;
     Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff;
   ]

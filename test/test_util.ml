@@ -162,15 +162,16 @@ let test_percentile () =
   Alcotest.(check (float 1e-9)) "p<0 clamps" 10.0 (Stats.percentile (-3.0) a);
   Alcotest.(check (float 1e-9)) "p>100 clamps" 50.0 (Stats.percentile 140.0 a)
 
-(* The historical module name must keep working (deprecated alias). *)
-let test_pairing_heap_alias () =
-  let h = Diva_util.Pairing_heap.create () in
-  Diva_util.Pairing_heap.insert h 2.0 "b";
-  Diva_util.Pairing_heap.insert h 1.0 "a";
-  (match Diva_util.Pairing_heap.pop_min h with
+(* Basic Event_queue behaviour (the canonical name; the historical
+   [Pairing_heap] alias is gone). *)
+let test_event_queue_basics () =
+  let h = Diva_util.Event_queue.create () in
+  Diva_util.Event_queue.insert h 2.0 "b";
+  Diva_util.Event_queue.insert h 1.0 "a";
+  (match Diva_util.Event_queue.pop_min h with
   | Some (_, "a") -> ()
-  | _ -> Alcotest.fail "alias misbehaves");
-  Alcotest.(check int) "size via alias" 1 (Diva_util.Pairing_heap.size h)
+  | _ -> Alcotest.fail "min-heap order violated");
+  Alcotest.(check int) "size after pop" 1 (Diva_util.Event_queue.size h)
 
 let contains_substring s needle =
   let n = String.length needle and m = String.length s in
@@ -208,7 +209,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_heap_sorted;
     Alcotest.test_case "stats helpers" `Quick test_stats;
     Alcotest.test_case "stats percentile" `Quick test_percentile;
-    Alcotest.test_case "pairing_heap alias" `Quick test_pairing_heap_alias;
+    Alcotest.test_case "event_queue basics" `Quick test_event_queue_basics;
     Alcotest.test_case "table render" `Quick test_table_render;
   ]
 

@@ -303,10 +303,49 @@ let test_latency_report () =
   Alcotest.(check bool) "fields carry p99" true
     (List.mem_assoc "lat_p99_us" fields)
 
+(* Golden-trace regression: the committed JSONL trace in test/data must be
+   reproduced byte for byte by today's generator, and replay it
+   deterministically. Regenerate with
+     divasim workload --mesh 4x4 --strategy 4-ary --vars 32 --var-size 32 \
+       --ops 40 --read-ratio 0.8 --lock-every 8 --seed 11 --record FILE
+   if an intentional behaviour change invalidates it. *)
+let golden_path = "data/golden_workload_4x4.jsonl"
+
+let test_golden_trace () =
+  let golden = In_channel.with_open_bin golden_path In_channel.input_all in
+  let spec =
+    Spec.make ~num_vars:32 ~var_size:32 ~lock_every:8
+      ~phases:[ Spec.phase ~read_ratio:0.8 40 ]
+      ~seed:11 ()
+  in
+  let sink, obs = traced_obs () in
+  ignore
+    (Generator.run ~obs ~dims:[| 4; 4 |] ~strategy:strategy_4ary spec
+      : Generator.result);
+  let t =
+    Dsm_trace.of_events ~dims:[| 4; 4 |] ~seed:11
+      ~meta:
+        [ ("app", "workload");
+          ("strategy", Diva_core.Dsm.strategy_name strategy_4ary) ]
+      (Trace.events sink)
+  in
+  Alcotest.(check string) "regenerated trace matches the committed golden"
+    golden (Dsm_trace.to_string t);
+  let tr =
+    match Dsm_trace.read golden_path with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "cannot read golden trace: %s" e
+  in
+  let replay () =
+    (Replay.run ~strategy:strategy_4ary tr).Generator.measurements
+  in
+  check_meas "golden replay deterministic" (replay ()) (replay ())
+
 let suite =
   [
     Alcotest.test_case "generator determinism (trace twice)" `Quick
       test_generator_determinism;
+    Alcotest.test_case "golden trace regression" `Quick test_golden_trace;
     Alcotest.test_case "generator op counts" `Quick test_generator_op_count;
     Alcotest.test_case "matmul record/replay bit-for-bit (4-ary)" `Quick
       test_replay_matmul_4ary;
