@@ -491,8 +491,7 @@ let fault_degradation () =
    records are dumped as JSON, so successive PRs leave a comparable,
    machine-readable benchmark trail. Deliberately modest sizes: the file is
    regenerated by `bench --only bench_json` in seconds. *)
-let bench_json () =
-  banner "bench_json: writing BENCH_diva.json";
+let bench_doc () =
   let open Diva_obs.Json in
   let fields m = Obj (Runner.measurement_fields m) in
   let mesh_label q = Printf.sprintf "%dx%d" q q in
@@ -561,23 +560,50 @@ let bench_json () =
                workload_strategies) ))
       workload_skews
   in
-  let doc =
-    Obj
-      [
-        ("schema", String "diva-bench/1");
-        ("units", Obj [ ("time_us", String "simulated microseconds") ]);
-        ( "apps",
-          Obj
-            [
-              ("matmul", Obj matmul);
-              ("bitonic", Obj bitonic);
-              ("barnes-hut", Obj nbody);
-              ("workload", Obj workload);
-            ] );
-      ]
-  in
-  to_file "BENCH_diva.json" doc;
+  Obj
+    [
+      ("schema", String "diva-bench/1");
+      ("units", Obj [ ("time_us", String "simulated microseconds") ]);
+      ( "apps",
+        Obj
+          [
+            ("matmul", Obj matmul);
+            ("bitonic", Obj bitonic);
+            ("barnes-hut", Obj nbody);
+            ("workload", Obj workload);
+          ] );
+    ]
+
+let bench_json () =
+  banner "bench_json: writing BENCH_diva.json";
+  Diva_obs.Json.to_file "BENCH_diva.json" (bench_doc ());
   Printf.printf "wrote BENCH_diva.json\n"
+
+(* Regression gate: rerun the bench_json matrix in memory and compare it
+   against a committed baseline. Exits non-zero on any regression,
+   missing/extra metric or shape mismatch (see Diva_harness.Bench_gate). *)
+let bench_check path =
+  banner (Printf.sprintf "bench --check: comparing against %s" path);
+  let baseline =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Diva_obs.Json.of_string s with
+    | Ok j -> j
+    | Error e ->
+        Printf.eprintf "bench --check: cannot parse %s: %s\n" path e;
+        exit 2
+  in
+  let verdicts =
+    Diva_harness.Bench_gate.compare_docs ~baseline ~current:(bench_doc ()) ()
+  in
+  print_string (Diva_harness.Bench_gate.render verdicts);
+  if Diva_harness.Bench_gate.failures verdicts <> [] then begin
+    Printf.printf "bench --check: FAILED against %s\n" path;
+    exit 1
+  end
+  else Printf.printf "bench --check: OK against %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
@@ -651,6 +677,8 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+let check_baseline : string option ref = ref None
+
 let () =
   let specs =
     [
@@ -659,9 +687,16 @@ let () =
       ( "--only",
         Arg.String (fun s -> only := String.split_on_char ',' s),
         "comma-separated experiment names (fig3..fig11, matmul_arity, ...)" );
+      ( "--check",
+        Arg.String (fun s -> check_baseline := Some s),
+        "FILE  compare the bench_json matrix against a committed baseline \
+         and exit non-zero on regression" );
     ]
   in
   Arg.parse specs (fun _ -> ()) "diva benchmark harness";
+  match !check_baseline with
+  | Some path -> bench_check path
+  | None ->
   let experiments =
     [
       ("fig3", fig3); ("fig4", fig4); ("fig6", fig6); ("fig7", fig7);

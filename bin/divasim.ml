@@ -106,6 +106,7 @@ let on_net_of heatmap =
 type obs_opts = {
   trace_file : string option;
   metrics_file : string option;
+  prom_file : string option;
   manifest_file : string option;
   record_file : string option;
   sample_us : float;
@@ -131,6 +132,16 @@ let obs_opts_t =
             "Write a time series of link congestion and CPU occupancy \
              sampled on the simulated clock: CSV, or JSON if FILE ends in \
              .json.")
+  in
+  let prom =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "Write the final metrics sample in Prometheus text exposition \
+             format (for node_exporter's textfile collector or any \
+             scraper-side ingestion).")
   in
   let manifest =
     Arg.(
@@ -189,11 +200,12 @@ let obs_opts_t =
              travel in a reliable ack/retry envelope while faults are \
              active; the run report gains a $(b,faults) section.")
   in
-  let mk trace_file metrics_file manifest_file record_file sample_us fault_sched =
-    { trace_file; metrics_file; manifest_file; record_file; sample_us;
-      fault_sched }
+  let mk trace_file metrics_file prom_file manifest_file record_file sample_us
+      fault_sched =
+    { trace_file; metrics_file; prom_file; manifest_file; record_file;
+      sample_us; fault_sched }
   in
-  Term.(const mk $ trace $ metrics $ manifest $ record $ sample $ faults)
+  Term.(const mk $ trace $ metrics $ prom $ manifest $ record $ sample $ faults)
 
 (* Fail on an unwritable artifact destination before the (possibly long)
    simulation runs, not after. *)
@@ -209,6 +221,7 @@ let preflight oo =
   in
   check oo.trace_file;
   check oo.metrics_file;
+  check oo.prom_file;
   check oo.manifest_file;
   check oo.record_file
 
@@ -220,9 +233,9 @@ let make_obs oo =
       | None, None -> Diva_obs.Trace.null
       | _ -> Diva_obs.Trace.create ());
     obs_metrics =
-      (match oo.metrics_file with
-      | Some _ -> Some (Diva_obs.Metrics.create ())
-      | None -> None);
+      (match (oo.metrics_file, oo.prom_file) with
+      | None, None -> None
+      | _ -> Some (Diva_obs.Metrics.create ()));
     obs_sample_interval = oo.sample_us;
     obs_faults = oo.fault_sched;
   }
@@ -278,6 +291,11 @@ let write_artifacts oo (obs : Runner.obs) ~app ~dims ~strategy ~seed ~params
         else write_text path (Diva_obs.Metrics.to_csv m);
         Printf.printf "metrics  -> %s (%d samples)\n" path
           (Diva_obs.Metrics.num_rows m)
+    | _ -> ());
+    (match (oo.prom_file, obs.Runner.obs_metrics) with
+    | Some path, Some m ->
+        write_text path (Diva_obs.Metrics.to_prometheus m);
+        Printf.printf "prom     -> %s\n" path
     | _ -> ());
     (match oo.manifest_file with
     | Some path ->
@@ -425,6 +443,195 @@ let nbody_cmd =
       $ seed_t $ heatmap_t $ obs_opts_t)
 
 (* ------------------------------------------------------------------ *)
+(* analyze: span trees, critical path, congestion profiles             *)
+(* ------------------------------------------------------------------ *)
+
+let require_dsm_strategy = function
+  | Runner.Strategy s -> s
+  | Runner.Hand_optimized ->
+      failwith "this command drives the DSM: pick a DSM strategy"
+
+let analyze_cmd =
+  let app_t =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("matmul", `Matmul); ("bitonic", `Bitonic); ("nbody", `Nbody) ])
+          `Matmul
+      & info [ "app" ] ~docv:"APP"
+          ~doc:
+            "Application to run inline with causal tracing enabled: \
+             $(b,matmul), $(b,bitonic) or $(b,nbody). Ignored with \
+             $(b,--replay).")
+  in
+  let block =
+    Arg.(value & opt int 256 & info [ "block" ] ~doc:"matmul: integers per block.")
+  in
+  let keys =
+    Arg.(value & opt int 1024 & info [ "keys" ] ~doc:"bitonic: keys per processor.")
+  in
+  let bodies =
+    Arg.(value & opt int 500 & info [ "bodies" ] ~doc:"nbody: number of bodies.")
+  in
+  let steps =
+    Arg.(value & opt int 3 & info [ "steps" ] ~doc:"nbody: time steps.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Analyze a recorded DSM trace (produced by $(b,--record)) \
+             replayed against the chosen strategy instead of running an \
+             app inline.")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K" ~doc:"Congested links to report.")
+  in
+  let wins =
+    Arg.(
+      value & opt int 8
+      & info [ "windows" ] ~docv:"N"
+          ~doc:"Time windows for the congestion time-lapse.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the machine-readable analysis document to $(docv).")
+  in
+  let snapshots =
+    Arg.(
+      value & flag
+      & info [ "snapshots" ]
+          ~doc:
+            "Print a per-node traffic heatmap for each time window \
+             (time-lapse of where the congestion sits).")
+  in
+  let run dims strategy app block keys bodies steps replay top wins json_out
+      snapshots seed =
+    let trace = Diva_obs.Trace.create () in
+    let obs =
+      { Runner.obs_trace = trace; obs_metrics = None;
+        obs_sample_interval = 1000.0; obs_faults = Fault_schedule.empty }
+    in
+    let captured = ref None in
+    let on_net net = captured := Some net in
+    let app_name, params =
+      match replay with
+      | Some path ->
+          let tr =
+            match Workload.Dsm_trace.read path with
+            | Ok t -> t
+            | Error e -> failwith e
+          in
+          let strategy = require_dsm_strategy strategy in
+          ignore
+            (Workload.Replay.run ~obs ~on_net ~seed
+               ~mode:Workload.Replay.Closed_loop ~strategy tr);
+          ("replay", [ ("replay", Diva_obs.Json.String path) ])
+      | None -> (
+          match app with
+          | `Matmul -> (
+              match dims with
+              | [| rows; cols |] when rows = cols ->
+                  ignore
+                    (Runner.run_matmul ~seed ~obs ~on_net ~rows ~cols ~block
+                       strategy);
+                  ("matmul", [ ("block", Diva_obs.Json.Int block) ])
+              | _ -> failwith "matmul needs a square 2-D mesh")
+          | `Bitonic ->
+              ignore (Runner.run_bitonic_nd ~seed ~obs ~on_net ~dims ~keys strategy);
+              ("bitonic", [ ("keys", Diva_obs.Json.Int keys) ])
+          | `Nbody ->
+              let s = require_dsm_strategy strategy in
+              let cfg =
+                { (Barnes_hut.default_config ~nbodies:bodies) with
+                  Barnes_hut.steps }
+              in
+              ignore (Runner.run_barnes_hut_nd ~seed ~obs ~on_net ~dims ~cfg s);
+              ( "barnes-hut",
+                [ ("bodies", Diva_obs.Json.Int bodies);
+                  ("steps", Diva_obs.Json.Int steps) ] ))
+    in
+    let net =
+      match !captured with
+      | Some n -> n
+      | None -> failwith "internal error: the run never reached the network"
+    in
+    let m = Network.machine net in
+    let ov =
+      { Diva_obs.Analysis.send_overhead = m.Diva_simnet.Machine.send_overhead;
+        recv_overhead = m.Diva_simnet.Machine.recv_overhead;
+        local_overhead = m.Diva_simnet.Machine.local_overhead }
+    in
+    let spans = Diva_obs.Spans.build (Diva_obs.Trace.events trace) in
+    Printf.printf "analyze %s, %s mesh, strategy %s, seed %d\n\n" app_name
+      (String.concat "x" (List.map string_of_int (Array.to_list dims)))
+      (Runner.name strategy) seed;
+    print_string (Diva_obs.Analysis.render ~top_k:top ov spans);
+    if snapshots then begin
+      let mesh = Network.mesh net in
+      List.iter
+        (fun w ->
+          print_newline ();
+          print_string
+            (Diva_harness.Heatmap.render_grid mesh
+               ~label:
+                 (Printf.sprintf "window %.0f-%.0f us"
+                    w.Diva_obs.Analysis.w_start w.Diva_obs.Analysis.w_finish)
+               (Diva_harness.Heatmap.nodes_of_link_values mesh
+                  w.Diva_obs.Analysis.w_link_bytes)))
+        (Diva_obs.Analysis.windows ~n:wins spans)
+    end;
+    match json_out with
+    | Some path -> (
+        let meta =
+          [ ("app", Diva_obs.Json.String app_name);
+            ("dims",
+             Diva_obs.Json.List
+               (List.map (fun d -> Diva_obs.Json.Int d) (Array.to_list dims)));
+            ("strategy", Diva_obs.Json.String (Runner.name strategy));
+            ("seed", Diva_obs.Json.Int seed) ]
+          @ params
+        in
+        try
+          Diva_obs.Json.to_file path
+            (Diva_obs.Analysis.to_json ~meta ~top_k:top ~num_windows:wins ov
+               spans);
+          Printf.printf "\nanalysis -> %s\n" path
+        with Sys_error e ->
+          Printf.eprintf "divasim: %s\n" e;
+          exit 1)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Causal span analysis: critical path, cost decomposition, per-level \
+          traffic and congested links"
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Runs an application (or replays a recorded trace) with causal \
+              tracing enabled, folds the event stream into per-transaction \
+              span trees, and reports where the time went: the last-finishing \
+              processor's critical path split into startup / transfer / queue \
+              / cpu microseconds, traffic grouped by access-tree level, the \
+              top-K congested directed links, and a per-operation latency and \
+              cost table. $(b,--json) writes the same data machine-readably; \
+              $(b,--snapshots) adds a time-lapse of per-node congestion \
+              heatmaps." ])
+    Term.(
+      const run $ mesh_t $ strategy_t $ app_t $ block $ keys $ bodies $ steps
+      $ replay $ top $ wins $ json_out $ snapshots $ seed_t)
+
+(* ------------------------------------------------------------------ *)
 (* Workload engine                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -515,11 +722,6 @@ let print_workload_result name (r : Workload.Generator.result) =
   Printf.printf "-- %s --\n" name;
   print_measurements r.Workload.Generator.measurements;
   print_string (Workload.Latency.render r.Workload.Generator.latency)
-
-let require_dsm_strategy = function
-  | Runner.Strategy s -> s
-  | Runner.Hand_optimized ->
-      failwith "the workload engine drives the DSM: pick a DSM strategy"
 
 let workload_cmd =
   let vars =
@@ -848,4 +1050,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ matmul_cmd; bitonic_cmd; nbody_cmd; workload_cmd; chaos_cmd ]))
+          [ matmul_cmd; bitonic_cmd; nbody_cmd; analyze_cmd; workload_cmd;
+            chaos_cmd ]))

@@ -38,9 +38,17 @@ type tstate = {
   mutable traffic : int;  (* messages served, for the remapping variant *)
 }
 
+(* Queued operations remember the causal transaction that issued them:
+   they are dequeued from inside some other transaction's handler, and
+   their protocol messages must be attributed to the original one. *)
 type op =
-  | Oread of Types.proc * (Value.t -> unit)
-  | Owrite of Types.proc * Value.t * (unit -> unit)
+  | Oread of { o_p : Types.proc; o_txn : int; o_k : Value.t -> unit }
+  | Owrite of {
+      o_p : Types.proc;
+      o_txn : int;
+      o_v : Value.t;
+      o_k : unit -> unit;
+    }
 
 type wtxn = {
   w_origin : int;  (* writer's leaf tree node *)
@@ -169,6 +177,7 @@ let trace_copy_drop t (ctl : ctl) tnode reason =
 
 let send_tree t (ctl : ctl) ~from ~tnode ~size body =
   let src = place t ctl.var from and dst = place t ctl.var tnode in
+  Network.tag_level t.net t.deco.Deco.depth.(tnode);
   Network.send t.net ~src ~dst ~size
     (At { var_id = ctl.var.Types.id; from; tnode; body })
 
@@ -282,13 +291,19 @@ let complete_reads _t ctl tnode =
 let rec process_queue t ctl =
   if not ctl.writing then
     match Queue.peek_opt ctl.pending with
-    | Some (Oread (p, k)) ->
+    | Some (Oread { o_p; o_txn; o_k }) ->
         ignore (Queue.pop ctl.pending);
-        start_read t ctl p k;
+        let saved = Network.cur_txn t.net in
+        Network.set_txn t.net o_txn;
+        start_read t ctl o_p o_k;
+        Network.set_txn t.net saved;
         process_queue t ctl
-    | Some (Owrite (p, v, k)) when ctl.reading = 0 ->
+    | Some (Owrite { o_p; o_txn; o_v; o_k }) when ctl.reading = 0 ->
         ignore (Queue.pop ctl.pending);
-        start_write t ctl p v k
+        let saved = Network.cur_txn t.net in
+        Network.set_txn t.net o_txn;
+        start_write t ctl o_p o_v o_k;
+        Network.set_txn t.net saved
     | Some (Owrite _) | None -> ()
 
 and start_read t ctl p k =
@@ -537,13 +552,16 @@ let sole_copy t p var =
 let read t p var ~k =
   let ctl = get_ctl t var in
   if ctl.writing || not (Queue.is_empty ctl.pending) then
-    Queue.add (Oread (p, k)) ctl.pending
+    Queue.add (Oread { o_p = p; o_txn = Network.cur_txn t.net; o_k = k })
+      ctl.pending
   else start_read t ctl p k
 
 let write t p var value ~k =
   let ctl = get_ctl t var in
   if ctl.writing || ctl.reading > 0 || not (Queue.is_empty ctl.pending) then
-    Queue.add (Owrite (p, value, k)) ctl.pending
+    Queue.add
+      (Owrite { o_p = p; o_txn = Network.cur_txn t.net; o_v = value; o_k = k })
+      ctl.pending
   else start_write t ctl p value k
 
 (* The remapping variant of the original FOCS'97 strategy: once a tree node
@@ -590,6 +608,7 @@ let maybe_remap t (ctl : ctl) tnode =
                    var_name = ctl.var.Types.name; tnode;
                    level = t.deco.Deco.depth.(tnode); from_node = old;
                    to_node = fresh });
+          Network.tag_level t.net t.deco.Deco.depth.(tnode);
           Network.send t.net ~src:old ~dst:fresh ~size
             (At { var_id = ctl.var.Types.id; from = tnode; tnode; body = Rmove })
         end

@@ -157,7 +157,8 @@ let blocking_op t p register =
 (* One shared-memory operation span: [ts] is the issue time, [dur] the
    fiber's blocking latency (0 for hits). Emission happens after the
    operation completes, so the event never interleaves with the protocol. *)
-let trace_op ?(size = -1) t p (v : Types.var option) op ~t0 ~hit =
+let trace_op ?(size = -1) ?(txn = -1) ?(completed_by = -1) t p
+    (v : Types.var option) op ~t0 ~hit =
   let tr = Network.trace t.network in
   if Trace.enabled tr then
     let var, var_name, size =
@@ -168,7 +169,16 @@ let trace_op ?(size = -1) t p (v : Types.var option) op ~t0 ~hit =
     Trace.emit tr
       (Trace.Dsm_access
          { ts = t0; dur = Network.now t.network -. t0; node = p; var;
-           var_name; op; size; hit })
+           var_name; op; size; hit; txn; completed_by })
+
+(* Open a causal transaction for a blocking operation: protocol messages
+   sent while it is the current context inherit its id. The counter
+   advances in untraced runs too (it feeds nothing in the simulation), so
+   tracing cannot perturb a run. *)
+let open_txn t =
+  let txn = Network.fresh_txn t.network in
+  Network.set_txn t.network txn;
+  txn
 
 let read t p var =
   t.n_reads <- t.n_reads + 1;
@@ -186,13 +196,15 @@ let read t p var =
   else begin
     Network.flush_charge t.network p;
     let t0 = Network.now t.network in
+    let txn = open_txn t in
     let packed =
       blocking_op t p (fun resume ->
           match t.impl with
           | Tree at -> Access_tree.read at p var.v ~k:resume
           | Home fh -> Fixed_home.read fh p var.v ~k:resume)
     in
-    trace_op t p (Some var.v) Trace.Read ~t0 ~hit:false;
+    trace_op t p (Some var.v) Trace.Read ~t0 ~hit:false ~txn
+      ~completed_by:(Network.cur_msg t.network);
     var.proj packed
   end
 
@@ -213,27 +225,35 @@ let write t p var x =
   else begin
     Network.flush_charge t.network p;
     let t0 = Network.now t.network in
+    let txn = open_txn t in
     blocking_op t p (fun resume ->
         let k () = resume () in
         match t.impl with
         | Tree at -> Access_tree.write at p var.v value ~k
         | Home fh -> Fixed_home.write fh p var.v value ~k);
-    trace_op t p (Some var.v) Trace.Write ~t0 ~hit:false
+    trace_op t p (Some var.v) Trace.Write ~t0 ~hit:false ~txn
+      ~completed_by:(Network.cur_msg t.network)
   end
 
 let lock t p var =
   Network.flush_charge t.network p;
   let t0 = Network.now t.network in
+  let txn = open_txn t in
   blocking_op t p (fun resume ->
       let k () = resume () in
       match t.impl with
       | Tree at -> Access_tree.lock at p var.v ~k
       | Home fh -> Fixed_home.lock fh p var.v ~k);
-  trace_op t p (Some var.v) Trace.Lock ~t0 ~hit:false
+  trace_op t p (Some var.v) Trace.Lock ~t0 ~hit:false ~txn
+    ~completed_by:(Network.cur_msg t.network)
 
 let unlock t p var =
   Network.charge t.network p t.write_hit_cost;
-  trace_op t p (Some var.v) Trace.Unlock ~t0:(Network.now t.network) ~hit:true;
+  (* Non-blocking, but the release messages it triggers (token hand-off,
+     next-grant) deserve their own causal id. *)
+  let txn = open_txn t in
+  trace_op t p (Some var.v) Trace.Unlock ~t0:(Network.now t.network) ~hit:true
+    ~txn;
   match t.impl with
   | Tree at -> Access_tree.unlock at p var.v
   | Home fh -> Fixed_home.unlock fh p var.v
@@ -241,8 +261,10 @@ let unlock t p var =
 let barrier t p =
   Network.flush_charge t.network p;
   let t0 = Network.now t.network in
+  let txn = open_txn t in
   blocking_op t p (fun resume -> Sync.barrier t.sync p ~k:resume);
-  trace_op t p None Trace.Barrier ~t0 ~hit:false
+  trace_op t p None Trace.Barrier ~t0 ~hit:false ~txn
+    ~completed_by:(Network.cur_msg t.network)
 
 type 'a reducer = { red : 'a Sync.reducer; red_size : int }
 
@@ -251,8 +273,10 @@ let reducer t ~combine ~size = { red = Sync.reducer t.sync ~combine ~size; red_s
 let reduce t p r x =
   Network.flush_charge t.network p;
   let t0 = Network.now t.network in
+  let txn = open_txn t in
   let y = blocking_op t p (fun resume -> Sync.reduce t.sync r.red p x ~k:resume) in
-  trace_op ~size:r.red_size t p None Trace.Reduce ~t0 ~hit:false;
+  trace_op ~size:r.red_size t p None Trace.Reduce ~t0 ~hit:false ~txn
+    ~completed_by:(Network.cur_msg t.network);
   y
 
 let peek var = var.proj var.v.Types.value

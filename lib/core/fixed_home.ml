@@ -19,9 +19,12 @@ type body =
 
 type Network.payload += Fh of { var_id : int; body : body }
 
+(* Home-side transactions carry the issuer's causal id: they can be
+   dequeued from inside another transaction's completion, and the protocol
+   messages they spawn must be attributed to the original one. *)
 type txn =
-  | Tread of { origin : Types.proc }
-  | Twrite of { origin : Types.proc; value : Value.t }
+  | Tread of { origin : Types.proc; t_txn : int }
+  | Twrite of { origin : Types.proc; value : Value.t; t_txn : int }
 
 type hstate = {
   var : Types.var;
@@ -125,8 +128,10 @@ let rec process t hs =
     let txn = Queue.pop hs.q in
     hs.busy <- true;
     hs.cur <- Some txn;
+    Network.set_txn t.net
+      (match txn with Tread { t_txn; _ } | Twrite { t_txn; _ } -> t_txn);
     match txn with
-    | Tread { origin } -> (
+    | Tread { origin; _ } -> (
         match hs.owner with
         | Owned_by ow when ow <> origin ->
             (* Move the data (and ownership) back to the main memory. *)
@@ -135,7 +140,7 @@ let rec process t hs =
             hs.owner <- Home;
             reply_read t hs origin;
             process t hs)
-    | Twrite { origin; value } ->
+    | Twrite { origin; value; _ } ->
         let holders =
           Hashtbl.fold (fun p () acc -> if p <> origin then p :: acc else acc)
             hs.home_copies []
@@ -153,14 +158,15 @@ let rec process t hs =
 let on_home_msg t hs body =
   match body with
   | Hrreq { origin } ->
-      Queue.add (Tread { origin }) hs.q;
+      Queue.add (Tread { origin; t_txn = Network.cur_txn t.net }) hs.q;
       process t hs
   | Hwreq { origin; value } ->
-      Queue.add (Twrite { origin; value }) hs.q;
+      Queue.add (Twrite { origin; value; t_txn = Network.cur_txn t.net }) hs.q;
       process t hs
   | Hfdata -> (
       match hs.cur with
-      | Some (Tread { origin }) ->
+      | Some (Tread { origin; t_txn }) ->
+          Network.set_txn t.net t_txn;
           hs.owner <- Home;
           reply_read t hs origin;
           process t hs
@@ -169,7 +175,8 @@ let on_home_msg t hs body =
       hs.acks <- hs.acks - 1;
       if hs.acks = 0 then
         match hs.cur with
-        | Some (Twrite { origin; value }) ->
+        | Some (Twrite { origin; value; t_txn }) ->
+            Network.set_txn t.net t_txn;
             commit_write t hs origin value;
             process t hs
         | _ -> assert false)

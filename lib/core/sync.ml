@@ -54,6 +54,7 @@ let reducer (type a) t ~combine ~size =
 
 let send t ~from ~tnode ~size body =
   let src = Embedding.place t.emb from and dst = Embedding.place t.emb tnode in
+  Network.tag_level t.net t.deco.Deco.depth.(tnode);
   Network.send t.net ~src ~dst ~size (Bar { tnode; body })
 
 (* Plain-barrier accounting shares the reducer structure with rid = -1 and

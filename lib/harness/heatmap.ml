@@ -2,39 +2,91 @@ module Network = Diva_simnet.Network
 module Link_stats = Diva_simnet.Link_stats
 module Mesh = Diva_mesh.Mesh
 
-let node_traffic net =
-  let mesh = Network.mesh net in
-  let bytes = Link_stats.per_link_bytes (Network.stats net) in
-  let traffic = Array.make (Mesh.num_nodes mesh) 0 in
-  Array.iteri
-    (fun l b ->
-      if b > 0 then begin
+type mode = Bytes | Msgs
+
+let mode_name = function Bytes -> "bytes" | Msgs -> "msgs"
+
+let per_link ~mode net =
+  match mode with
+  | Bytes -> Link_stats.per_link_bytes (Network.stats net)
+  | Msgs -> Link_stats.per_link_msgs (Network.stats net)
+
+let nodes_of_link_values mesh link_values =
+  let traffic = Array.make (Mesh.num_nodes mesh) 0.0 in
+  List.iter
+    (fun (l, v) ->
+      if v > 0.0 then begin
         let src, _ = Mesh.link_endpoints mesh l in
-        traffic.(src) <- traffic.(src) + b
+        traffic.(src) <- traffic.(src) +. v
       end)
-    bytes;
+    link_values;
   traffic
 
-let render net =
+let node_traffic ?(mode = Bytes) net =
   let mesh = Network.mesh net in
-  let traffic = node_traffic net in
-  let maxv = Array.fold_left max 1 traffic in
+  let per = per_link ~mode net in
+  let traffic = Array.make (Mesh.num_nodes mesh) 0 in
+  Array.iteri
+    (fun l v ->
+      if v > 0 then begin
+        let src, _ = Mesh.link_endpoints mesh l in
+        traffic.(src) <- traffic.(src) + v
+      end)
+    per;
+  traffic
+
+let hottest_link ?(mode = Bytes) net =
+  let per = per_link ~mode net in
+  let best = ref None in
+  Array.iteri
+    (fun l v ->
+      match !best with
+      | Some (_, bv) when bv >= v -> ()
+      | _ -> if v > 0 then best := Some (l, v))
+    per;
+  match !best with
+  | None -> None
+  | Some (l, v) ->
+      let src, dst = Mesh.link_endpoints (Network.mesh net) l in
+      Some (l, src, dst, v)
+
+(* Shared digit-grid renderer, also used by [divasim analyze] for windowed
+   congestion snapshots. *)
+let render_grid mesh ?label values =
+  let maxv = Array.fold_left Float.max 1.0 values in
   let digit v =
-    if v = 0 then '.'
-    else Char.chr (Char.code '0' + min 9 (v * 10 / (maxv + 1)))
+    if v <= 0.0 then '.'
+    else
+      Char.chr
+        (Char.code '0' + min 9 (int_of_float (v *. 10.0 /. (maxv +. 1.0))))
   in
   let buf = Buffer.create 256 in
-  Buffer.add_string buf
-    (Printf.sprintf "outgoing traffic per node (max %d bytes):\n" maxv);
+  (match label with
+  | Some l -> Buffer.add_string buf (Printf.sprintf "%s (max %.0f):\n" l maxv)
+  | None -> ());
   if Mesh.num_dims mesh = 2 then
     for r = 0 to Mesh.rows mesh - 1 do
       for c = 0 to Mesh.cols mesh - 1 do
-        Buffer.add_char buf (digit traffic.(Mesh.node_at mesh ~row:r ~col:c))
+        Buffer.add_char buf (digit values.(Mesh.node_at mesh ~row:r ~col:c))
       done;
       Buffer.add_char buf '\n'
     done
   else
     Array.iteri
-      (fun v x -> Buffer.add_string buf (Printf.sprintf "node %d: %d\n" v x))
-      traffic;
+      (fun v x -> Buffer.add_string buf (Printf.sprintf "node %d: %.0f\n" v x))
+      values;
   Buffer.contents buf
+
+let render ?(mode = Bytes) net =
+  let mesh = Network.mesh net in
+  let traffic = Array.map float_of_int (node_traffic ~mode net) in
+  let label =
+    Printf.sprintf "outgoing traffic per node, %s" (mode_name mode)
+  in
+  let grid = render_grid mesh ~label traffic in
+  match hottest_link ~mode net with
+  | None -> grid
+  | Some (link, src, dst, v) ->
+      grid
+      ^ Printf.sprintf "hottest directed link: %d (%d -> %d), %d %s\n" link src
+          dst v (mode_name mode)

@@ -1,0 +1,481 @@
+(* Critical-path extraction and cost attribution over span trees.
+
+   The machine's overhead constants arrive as parameters: [Diva_obs] sits
+   below the simulator in the dependency order, so it cannot read
+   [Diva_simnet.Machine] itself. *)
+
+type overheads = {
+  send_overhead : float;
+  recv_overhead : float;
+  local_overhead : float;
+}
+
+type cost = {
+  startup_us : float;
+  transfer_us : float;
+  queue_us : float;
+  cpu_us : float;
+}
+
+let zero_cost = { startup_us = 0.0; transfer_us = 0.0; queue_us = 0.0; cpu_us = 0.0 }
+
+let add_cost a b =
+  {
+    startup_us = a.startup_us +. b.startup_us;
+    transfer_us = a.transfer_us +. b.transfer_us;
+    queue_us = a.queue_us +. b.queue_us;
+    cpu_us = a.cpu_us +. b.cpu_us;
+  }
+
+let total_cost c = c.startup_us +. c.transfer_us +. c.queue_us +. c.cpu_us
+
+let op_name = function
+  | Trace.Read -> "read"
+  | Trace.Write -> "write"
+  | Trace.Lock -> "lock"
+  | Trace.Unlock -> "unlock"
+  | Trace.Barrier -> "barrier"
+  | Trace.Reduce -> "reduce"
+
+let txn_end (x : Spans.txn) = x.Spans.t_start +. x.Spans.t_dur
+
+(* Exact decomposition of one transaction's blocking window [t0, t0+dur]:
+   every message on the completing causal chain contributes labeled time
+   segments (send/receive overheads -> startup, link occupancy -> transfer,
+   local handler cost -> cpu), clipped to the window. A boundary sweep
+   measures the union with precedence startup > transfer > cpu, and the
+   uncovered remainder is queueing (CPU contention, link contention and
+   header propagation). By construction every term is non-negative (up to
+   float rounding) and the four sum exactly to [t_dur]. *)
+let decompose ov spans (txn : Spans.txn) =
+  let t0 = txn.Spans.t_start and t1 = txn_end txn in
+  let segs = ref [] in
+  let add label a b =
+    let a = Float.max a t0 and b = Float.min b t1 in
+    if b > a then segs := (label, a, b) :: !segs
+  in
+  List.iter
+    (fun (m : Spans.msg) ->
+      if m.Spans.local then
+        add `Cpu (m.Spans.inject -. ov.local_overhead) m.Spans.inject
+      else begin
+        add `Startup (m.Spans.inject -. ov.send_overhead) m.Spans.inject;
+        List.iter (fun (_, s, f) -> add `Transfer s f) m.Spans.xfers;
+        match m.Spans.handled with
+        | Some h -> add `Startup (h -. ov.recv_overhead) h
+        | None -> ()
+      end)
+    (Spans.chain spans txn);
+  let pts =
+    List.sort_uniq Float.compare
+      (t0 :: t1 :: List.concat_map (fun (_, a, b) -> [ a; b ]) !segs)
+  in
+  let startup = ref 0.0 and transfer = ref 0.0 and cpu = ref 0.0 in
+  let rec sweep = function
+    | a :: (b :: _ as rest) ->
+        let mid = (a +. b) /. 2.0 in
+        let active l =
+          List.exists (fun (l', x, y) -> l' = l && x <= mid && mid < y) !segs
+        in
+        let d = b -. a in
+        if active `Startup then startup := !startup +. d
+        else if active `Transfer then transfer := !transfer +. d
+        else if active `Cpu then cpu := !cpu +. d;
+        sweep rest
+    | _ -> ()
+  in
+  sweep pts;
+  {
+    startup_us = !startup;
+    transfer_us = !transfer;
+    queue_us = txn.Spans.t_dur -. (!startup +. !transfer +. !cpu);
+    cpu_us = !cpu;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Whole-run critical path                                              *)
+(* ------------------------------------------------------------------ *)
+
+type critical_path = {
+  cp_node : int;  (** the last-finishing processor *)
+  cp_end : float;  (** when its final transaction completed *)
+  cp_txns : int list;  (** transaction ids along its timeline *)
+  cp_cost : cost;
+      (** the node's whole timeline: blocking decompositions plus
+          inter-transaction gaps (application compute) as [cpu_us] *)
+}
+
+(* The makespan is decided by the last-finishing processor; its timeline —
+   application compute between transactions plus each transaction's
+   blocking decomposition — explains where the run's wall-clock went. *)
+let critical_path ov spans =
+  match Spans.txns spans with
+  | [] -> None
+  | all ->
+      let last =
+        List.fold_left
+          (fun acc t -> if txn_end t > txn_end acc then t else acc)
+          (List.hd all) all
+      in
+      let node = last.Spans.t_node in
+      let mine =
+        List.filter
+          (fun (t : Spans.txn) ->
+            t.Spans.t_node = node && txn_end t <= txn_end last)
+          all
+      in
+      let mine =
+        List.sort (fun a b -> Float.compare a.Spans.t_start b.Spans.t_start) mine
+      in
+      let cost, _ =
+        List.fold_left
+          (fun (c, prev_end) t ->
+            let gap = Float.max 0.0 (t.Spans.t_start -. prev_end) in
+            let c = { c with cpu_us = c.cpu_us +. gap } in
+            (add_cost c (decompose ov spans t), txn_end t))
+          (zero_cost, 0.0) mine
+      in
+      Some
+        {
+          cp_node = node;
+          cp_end = txn_end last;
+          cp_txns = List.map (fun t -> t.Spans.t_id) mine;
+          cp_cost = cost;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Traffic profiles                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type level_row = {
+  lv_level : int;  (** access-tree depth; -1 collects untagged traffic *)
+  lv_msgs : int;
+  lv_bytes : int;
+  lv_local : int;  (** how many of the messages were same-processor hops *)
+  lv_crossings : int;  (** directed-link crossings *)
+  lv_link_bytes : int;  (** bytes weighted by links crossed *)
+}
+
+let level_profile spans =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (m : Spans.msg) ->
+      let r =
+        match Hashtbl.find_opt tbl m.Spans.level with
+        | Some r -> r
+        | None ->
+            let r =
+              ref
+                {
+                  lv_level = m.Spans.level;
+                  lv_msgs = 0;
+                  lv_bytes = 0;
+                  lv_local = 0;
+                  lv_crossings = 0;
+                  lv_link_bytes = 0;
+                }
+            in
+            Hashtbl.add tbl m.Spans.level r;
+            r
+      in
+      let nx = List.length m.Spans.xfers in
+      r :=
+        {
+          !r with
+          lv_msgs = !r.lv_msgs + 1;
+          lv_bytes = !r.lv_bytes + m.Spans.size;
+          lv_local = (!r.lv_local + if m.Spans.local then 1 else 0);
+          lv_crossings = !r.lv_crossings + nx;
+          lv_link_bytes = !r.lv_link_bytes + (nx * m.Spans.size);
+        })
+    (Spans.msgs spans);
+  List.sort
+    (fun a b -> compare a.lv_level b.lv_level)
+    (Hashtbl.fold (fun _ r acc -> !r :: acc) tbl [])
+
+type link_row = {
+  lk_link : int;
+  lk_msgs : int;
+  lk_bytes : int;
+  lk_busy_us : float;
+}
+
+let link_rows spans =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (m : Spans.msg) ->
+      List.iter
+        (fun (link, s, f) ->
+          let msgs, bytes, busy =
+            Option.value ~default:(0, 0, 0.0) (Hashtbl.find_opt tbl link)
+          in
+          Hashtbl.replace tbl link
+            (msgs + 1, bytes + m.Spans.size, busy +. (f -. s)))
+        m.Spans.xfers)
+    (Spans.msgs spans);
+  Hashtbl.fold
+    (fun link (msgs, bytes, busy) acc ->
+      { lk_link = link; lk_msgs = msgs; lk_bytes = bytes; lk_busy_us = busy }
+      :: acc)
+    tbl []
+
+let top_links ?(k = 10) spans =
+  let rows =
+    List.sort
+      (fun a b ->
+        match compare b.lk_bytes a.lk_bytes with
+        | 0 -> compare a.lk_link b.lk_link
+        | c -> c)
+      (link_rows spans)
+  in
+  List.filteri (fun i _ -> i < k) rows
+
+type window = {
+  w_start : float;
+  w_finish : float;
+  w_link_bytes : (int * float) list;
+      (** per-link bytes attributed to the window, overlap-proportional;
+          ascending link id, zero links omitted *)
+}
+
+let end_time spans =
+  List.fold_left
+    (fun acc (m : Spans.msg) ->
+      let acc =
+        List.fold_left (fun acc (_, _, f) -> Float.max acc f) acc m.Spans.xfers
+      in
+      match m.Spans.handled with Some h -> Float.max acc h | None -> acc)
+    0.0 (Spans.msgs spans)
+
+let windows ?(n = 8) spans =
+  let t_end = end_time spans in
+  if t_end <= 0.0 || n <= 0 then []
+  else begin
+    let w = t_end /. float_of_int n in
+    let tables = Array.init n (fun _ -> Hashtbl.create 32) in
+    List.iter
+      (fun (m : Spans.msg) ->
+        List.iter
+          (fun (link, s, f) ->
+            if f > s then
+              let rate = float_of_int m.Spans.size /. (f -. s) in
+              let first = max 0 (int_of_float (s /. w))
+              and last = min (n - 1) (int_of_float (f /. w)) in
+              for i = first to last do
+                let lo = Float.max s (float_of_int i *. w)
+                and hi = Float.min f (float_of_int (i + 1) *. w) in
+                if hi > lo then
+                  let prev =
+                    Option.value ~default:0.0 (Hashtbl.find_opt tables.(i) link)
+                  in
+                  Hashtbl.replace tables.(i) link (prev +. (rate *. (hi -. lo)))
+              done)
+          m.Spans.xfers)
+      (Spans.msgs spans);
+    List.init n (fun i ->
+        {
+          w_start = float_of_int i *. w;
+          w_finish = float_of_int (i + 1) *. w;
+          w_link_bytes =
+            List.sort compare
+              (Hashtbl.fold (fun l b acc -> (l, b) :: acc) tables.(i) []);
+        })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Per-operation cost table                                             *)
+(* ------------------------------------------------------------------ *)
+
+type op_row = {
+  or_op : Trace.dsm_op;
+  or_count : int;  (** miss-path transactions of this kind *)
+  or_mean_us : float;
+  or_max_us : float;
+  or_cost : cost;  (** summed decomposition over all of them *)
+}
+
+let op_table ov spans =
+  let order = [ Trace.Read; Write; Lock; Unlock; Barrier; Reduce ] in
+  List.filter_map
+    (fun op ->
+      let mine =
+        List.filter (fun (t : Spans.txn) -> t.Spans.t_op = op) (Spans.txns spans)
+      in
+      match mine with
+      | [] -> None
+      | _ ->
+          let n = List.length mine in
+          let sum_dur =
+            List.fold_left (fun a t -> a +. t.Spans.t_dur) 0.0 mine
+          in
+          let max_dur =
+            List.fold_left (fun a t -> Float.max a t.Spans.t_dur) 0.0 mine
+          in
+          let cost =
+            List.fold_left
+              (fun a t -> add_cost a (decompose ov spans t))
+              zero_cost mine
+          in
+          Some
+            {
+              or_op = op;
+              or_count = n;
+              or_mean_us = sum_dur /. float_of_int n;
+              or_max_us = max_dur;
+              or_cost = cost;
+            })
+    order
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let cost_json c =
+  Json.Obj
+    [
+      ("startup_us", Json.Float c.startup_us);
+      ("transfer_us", Json.Float c.transfer_us);
+      ("queue_us", Json.Float c.queue_us);
+      ("cpu_us", Json.Float c.cpu_us);
+      ("total_us", Json.Float (total_cost c));
+    ]
+
+let to_json ?(meta = []) ?(top_k = 10) ?(num_windows = 8) ov spans =
+  let levels =
+    Json.List
+      (List.map
+         (fun r ->
+           Json.Obj
+             [
+               ("level", Json.Int r.lv_level);
+               ("msgs", Json.Int r.lv_msgs);
+               ("bytes", Json.Int r.lv_bytes);
+               ("local", Json.Int r.lv_local);
+               ("crossings", Json.Int r.lv_crossings);
+               ("link_bytes", Json.Int r.lv_link_bytes);
+             ])
+         (level_profile spans))
+  in
+  let links =
+    Json.List
+      (List.map
+         (fun r ->
+           Json.Obj
+             [
+               ("link", Json.Int r.lk_link);
+               ("msgs", Json.Int r.lk_msgs);
+               ("bytes", Json.Int r.lk_bytes);
+               ("busy_us", Json.Float r.lk_busy_us);
+             ])
+         (top_links ~k:top_k spans))
+  in
+  let wins =
+    Json.List
+      (List.map
+         (fun w ->
+           Json.Obj
+             [
+               ("start_us", Json.Float w.w_start);
+               ("finish_us", Json.Float w.w_finish);
+               ( "links",
+                 Json.List
+                   (List.map
+                      (fun (l, b) ->
+                        Json.Obj
+                          [ ("link", Json.Int l); ("bytes", Json.Float b) ])
+                      w.w_link_bytes) );
+             ])
+         (windows ~n:num_windows spans))
+  in
+  let ops =
+    Json.List
+      (List.map
+         (fun r ->
+           Json.Obj
+             [
+               ("op", Json.String (op_name r.or_op));
+               ("count", Json.Int r.or_count);
+               ("mean_us", Json.Float r.or_mean_us);
+               ("max_us", Json.Float r.or_max_us);
+               ("cost", cost_json r.or_cost);
+             ])
+         (op_table ov spans))
+  in
+  let critical =
+    match critical_path ov spans with
+    | None -> Json.Null
+    | Some cp ->
+        Json.Obj
+          [
+            ("node", Json.Int cp.cp_node);
+            ("end_us", Json.Float cp.cp_end);
+            ("txns", Json.Int (List.length cp.cp_txns));
+            ("cost", cost_json cp.cp_cost);
+          ]
+  in
+  Json.Obj
+    (meta
+    @ [
+        ("num_txns", Json.Int (List.length (Spans.txns spans)));
+        ("num_msgs", Json.Int (Spans.num_msgs spans));
+        ("critical_path", critical);
+        ("levels", levels);
+        ("top_links", links);
+        ("windows", wins);
+        ("ops", ops);
+      ])
+
+let pct part whole = if whole <= 0.0 then 0.0 else 100.0 *. part /. whole
+
+let render_cost c =
+  let t = total_cost c in
+  Printf.sprintf
+    "startup %.0f us (%.1f%%) | transfer %.0f us (%.1f%%) | queue %.0f us (%.1f%%) | cpu %.0f us (%.1f%%)"
+    c.startup_us (pct c.startup_us t) c.transfer_us (pct c.transfer_us t)
+    c.queue_us (pct c.queue_us t) c.cpu_us (pct c.cpu_us t)
+
+let render ?(top_k = 10) ov spans =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "transactions: %d   messages: %d\n"
+    (List.length (Spans.txns spans))
+    (Spans.num_msgs spans);
+  (match critical_path ov spans with
+  | None -> pf "critical path: (no transactions)\n"
+  | Some cp ->
+      pf "critical path: node %d, makespan %.0f us over %d transactions\n"
+        cp.cp_node cp.cp_end (List.length cp.cp_txns);
+      pf "  %s\n" (render_cost cp.cp_cost));
+  let levels = level_profile spans in
+  if levels <> [] then begin
+    pf "\ntraffic by access-tree level (-1 = untagged):\n";
+    pf "  %5s %8s %12s %7s %10s %12s\n" "level" "msgs" "bytes" "local"
+      "crossings" "link-bytes";
+    List.iter
+      (fun r ->
+        pf "  %5d %8d %12d %7d %10d %12d\n" r.lv_level r.lv_msgs r.lv_bytes
+          r.lv_local r.lv_crossings r.lv_link_bytes)
+      levels
+  end;
+  let links = top_links ~k:top_k spans in
+  if links <> [] then begin
+    pf "\ntop %d congested directed links:\n" (List.length links);
+    pf "  %6s %8s %12s %12s\n" "link" "msgs" "bytes" "busy-us";
+    List.iter
+      (fun r ->
+        pf "  %6d %8d %12d %12.0f\n" r.lk_link r.lk_msgs r.lk_bytes
+          r.lk_busy_us)
+      links
+  end;
+  let ops = op_table ov spans in
+  if ops <> [] then begin
+    pf "\nper-operation cost decomposition (miss path):\n";
+    pf "  %-8s %7s %10s %10s   %s\n" "op" "count" "mean-us" "max-us"
+      "cost decomposition";
+    List.iter
+      (fun r ->
+        pf "  %-8s %7d %10.0f %10.0f   %s\n" (op_name r.or_op) r.or_count
+          r.or_mean_us r.or_max_us (render_cost r.or_cost))
+      ops
+  end;
+  Buffer.contents b

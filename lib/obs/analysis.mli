@@ -1,0 +1,120 @@
+(** Critical-path extraction and cost attribution over span trees.
+
+    The paper explains the access-tree strategy's win by splitting
+    execution time into per-message startup, raw transfer time, and
+    congestion-induced queueing; this module makes that decomposition
+    measurable per run. Machine overhead constants are passed in as
+    {!overheads} ([Diva_obs] sits below the simulator and cannot read
+    [Diva_simnet.Machine]). *)
+
+type overheads = {
+  send_overhead : float;
+  recv_overhead : float;
+  local_overhead : float;
+}
+
+type cost = {
+  startup_us : float;  (** send/receive per-message overheads *)
+  transfer_us : float;  (** time some link on the path was moving the data *)
+  queue_us : float;
+      (** waiting: CPU contention, link contention, header propagation *)
+  cpu_us : float;  (** local handler cost and application compute *)
+}
+
+val zero_cost : cost
+val add_cost : cost -> cost -> cost
+val total_cost : cost -> float
+
+val op_name : Trace.dsm_op -> string
+
+val decompose : overheads -> Spans.t -> Spans.txn -> cost
+(** Decompose one transaction's blocking latency along its completing
+    causal chain ({!Spans.chain}). Every term is non-negative (up to float
+    rounding) and the four sum exactly to [t_dur]: the labeled segments —
+    overheads as startup, link occupancy as transfer, local handler cost as
+    cpu — are clipped to the blocking window and measured as a union with
+    precedence startup > transfer > cpu; the uncovered remainder is
+    queueing. *)
+
+type critical_path = {
+  cp_node : int;  (** the last-finishing processor *)
+  cp_end : float;  (** when its final transaction completed *)
+  cp_txns : int list;  (** transaction ids along its timeline *)
+  cp_cost : cost;
+      (** the node's whole timeline: blocking decompositions plus
+          inter-transaction gaps (application compute) as [cpu_us] *)
+}
+
+val critical_path : overheads -> Spans.t -> critical_path option
+(** The makespan is decided by the last-finishing processor; its timeline
+    decomposition explains where the run's wall-clock went. [None] when the
+    trace holds no transactions. *)
+
+type level_row = {
+  lv_level : int;  (** access-tree depth; -1 collects untagged traffic *)
+  lv_msgs : int;
+  lv_bytes : int;
+  lv_local : int;  (** how many of the messages were same-processor hops *)
+  lv_crossings : int;  (** directed-link crossings *)
+  lv_link_bytes : int;  (** bytes weighted by links crossed *)
+}
+
+val level_profile : Spans.t -> level_row list
+(** Traffic grouped by the access-tree level of the destination protocol
+    node, ascending level. Shows the paper's locality effect: most tree
+    traffic should sit at deep (cheap, short-distance) levels. *)
+
+type link_row = {
+  lk_link : int;
+  lk_msgs : int;
+  lk_bytes : int;
+  lk_busy_us : float;
+}
+
+val top_links : ?k:int -> Spans.t -> link_row list
+(** The [k] (default 10) most congested directed links by bytes carried,
+    ties broken by link id. *)
+
+type window = {
+  w_start : float;
+  w_finish : float;
+  w_link_bytes : (int * float) list;
+      (** per-link bytes attributed to the window, overlap-proportional;
+          ascending link id, zero links omitted *)
+}
+
+val windows : ?n:int -> Spans.t -> window list
+(** Split the run into [n] (default 8) equal time windows and attribute
+    each link occupancy's bytes proportionally to the windows it overlaps
+    — the data behind time-lapse congestion heatmaps. *)
+
+type op_row = {
+  or_op : Trace.dsm_op;
+  or_count : int;  (** miss-path transactions of this kind *)
+  or_mean_us : float;
+  or_max_us : float;
+  or_cost : cost;  (** summed decomposition over all of them *)
+}
+
+val op_table : overheads -> Spans.t -> op_row list
+(** Latency and summed cost decomposition per operation type (miss path
+    only — hits never enter the protocol). Ops with no transactions are
+    omitted. *)
+
+val cost_json : cost -> Json.t
+
+val to_json :
+  ?meta:(string * Json.t) list ->
+  ?top_k:int ->
+  ?num_windows:int ->
+  overheads ->
+  Spans.t ->
+  Json.t
+(** The machine-readable [analysis.json] payload: run totals, critical
+    path, level profile, top links, windowed link traffic and the
+    per-operation table. [meta] entries are prepended to the object. *)
+
+val render_cost : cost -> string
+
+val render : ?top_k:int -> overheads -> Spans.t -> string
+(** Human-readable report (the [divasim analyze] stdout). *)

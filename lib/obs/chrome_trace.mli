@@ -9,7 +9,15 @@
     "messages" row for sends/deliveries and a "dsm" row for shared-memory
     operation spans and copy-set changes; one extra "network" process
     (pid = number of nodes) holds a row per directed link whose slices are
-    the link-occupancy intervals. Events are emitted sorted by timestamp. *)
+    the link-occupancy intervals, plus three counter tracks sampled at
+    every change point: "in-flight messages" (issued but not yet handled),
+    "busy links" (directed links currently occupied) and "copies held"
+    (live variable copies across the machine). Each causal transaction
+    additionally becomes a flow arrow (id = transaction id) from its DSM
+    slice through every link slice its protocol messages occupied, so
+    Perfetto renders the transaction's path through the machine. Events are
+    emitted sorted by timestamp and the output is byte-deterministic for a
+    given event list. *)
 
 val to_json :
   ?metadata:(string * Json.t) list ->

@@ -68,6 +68,39 @@ let to_csv t =
     (rows t);
   Buffer.contents b
 
+(* Prometheus metric names allow [a-zA-Z0-9_:]; everything else maps to
+   '_' (and a leading digit gets one prepended). *)
+let sanitize name =
+  let b = Buffer.create (String.length name) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | ':' -> Buffer.add_char b c
+      | '0' .. '9' ->
+          if i = 0 then Buffer.add_char b '_';
+          Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let to_prometheus ?(prefix = "diva_") t =
+  match t.rev_rows with
+  | [] -> ""
+  | (ts, row) :: _ ->
+      let b = Buffer.create 1024 in
+      List.iteri
+        (fun i (name, s) ->
+          let metric = sanitize (prefix ^ name) in
+          let kind =
+            match s with Counter _ -> "counter" | Gauge _ -> "gauge"
+          in
+          Printf.bprintf b "# TYPE %s %s\n%s %s\n" metric kind metric
+            (cell row.(i)))
+        (cols t);
+      let metric = sanitize (prefix ^ "sample_ts_us") in
+      Printf.bprintf b "# TYPE %s gauge\n%s %s\n" metric metric (cell ts);
+      Buffer.contents b
+
 let to_json t =
   Json.Obj
     [

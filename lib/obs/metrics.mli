@@ -40,3 +40,11 @@ val to_csv : t -> string
 
 val to_json : t -> Json.t
 (** [{ "columns": [...], "rows": [[ts, v, ...], ...] }]. *)
+
+val to_prometheus : ?prefix:string -> t -> string
+(** Prometheus text exposition of the {e final} sample: one
+    [# TYPE]-annotated line pair per series (counters as [counter], gauges
+    as [gauge]), names prefixed with [prefix] (default ["diva_"]) and
+    sanitized to the Prometheus charset, plus a [<prefix>sample_ts_us]
+    gauge carrying the sample's simulated timestamp. Empty string when
+    nothing was sampled. *)

@@ -1,0 +1,174 @@
+(* Fold the flat trace-event stream into causally-linked span trees: one
+   record per message (with its link-occupancy intervals) and one per DSM
+   transaction. Pure data reshaping — no simulation types involved. *)
+
+type msg = {
+  id : int;
+  parent : int;
+  txn : int;
+  src : int;
+  dst : int;
+  size : int;
+  local : bool;
+  level : int;
+  sent : float;
+  inject : float;
+  delivered : float option;
+  handled : float option;
+  xfers : (int * float * float) list;  (* (link, start, finish), route order *)
+  retries : int;
+  losses : int;
+}
+
+type txn = {
+  t_id : int;
+  t_node : int;
+  t_op : Trace.dsm_op;
+  t_var : int;
+  t_var_name : string;
+  t_size : int;
+  t_start : float;
+  t_dur : float;
+  t_completed_by : int;
+}
+
+type t = { by_id : (int, msg) Hashtbl.t; txn_list : txn list }
+
+(* Mutable build-time accumulator, frozen into [msg] at the end. *)
+type acc = {
+  a_parent : int;
+  a_txn : int;
+  a_src : int;
+  a_dst : int;
+  a_size : int;
+  a_local : bool;
+  a_level : int;
+  a_sent : float;
+  a_inject : float;
+  mutable a_delivered : float option;
+  mutable a_handled : float option;
+  mutable a_xfers : (int * float * float) list;  (* reversed *)
+  mutable a_retries : int;
+  mutable a_losses : int;
+}
+
+let build events =
+  let accs : (int, acc) Hashtbl.t = Hashtbl.create 1024 in
+  let txns = ref [] in
+  List.iter
+    (fun e ->
+      match e with
+      | Trace.Msg_send
+          { ts; id; parent; txn; inject; level; src; dst; size; local } ->
+          Hashtbl.replace accs id
+            {
+              a_parent = parent;
+              a_txn = txn;
+              a_src = src;
+              a_dst = dst;
+              a_size = size;
+              a_local = local;
+              a_level = level;
+              a_sent = ts;
+              a_inject = inject;
+              (* A local message's handler runs at [inject]; there is no
+                 separate delivery event. *)
+              a_delivered = (if local then Some inject else None);
+              a_handled = (if local then Some inject else None);
+              a_xfers = [];
+              a_retries = 0;
+              a_losses = 0;
+            }
+      | Trace.Link_xfer { start; finish; link; msg; _ } -> (
+          (* Acks carry ids with no Msg_send; their link traffic is not part
+             of any span tree. *)
+          match Hashtbl.find_opt accs msg with
+          | Some a -> a.a_xfers <- (link, start, finish) :: a.a_xfers
+          | None -> ())
+      | Trace.Msg_deliver { id; ts; handled; _ } -> (
+          match Hashtbl.find_opt accs id with
+          | Some a when a.a_delivered = None ->
+              (* Retransmission duplicates keep the first delivery. *)
+              a.a_delivered <- Some ts;
+              a.a_handled <- Some handled
+          | _ -> ())
+      | Trace.Msg_retry { msg; _ } -> (
+          match Hashtbl.find_opt accs msg with
+          | Some a -> a.a_retries <- a.a_retries + 1
+          | None -> ())
+      | Trace.Msg_lost { msg; _ } -> (
+          match Hashtbl.find_opt accs msg with
+          | Some a -> a.a_losses <- a.a_losses + 1
+          | None -> ())
+      | Trace.Dsm_access
+          { ts; dur; node; var; var_name; op; size; txn; completed_by; _ }
+        when txn >= 0 ->
+          txns :=
+            {
+              t_id = txn;
+              t_node = node;
+              t_op = op;
+              t_var = var;
+              t_var_name = var_name;
+              t_size = size;
+              t_start = ts;
+              t_dur = dur;
+              t_completed_by = completed_by;
+            }
+            :: !txns
+      | _ -> ())
+    events;
+  let by_id = Hashtbl.create (Hashtbl.length accs) in
+  Hashtbl.iter
+    (fun id a ->
+      Hashtbl.replace by_id id
+        {
+          id;
+          parent = a.a_parent;
+          txn = a.a_txn;
+          src = a.a_src;
+          dst = a.a_dst;
+          size = a.a_size;
+          local = a.a_local;
+          level = a.a_level;
+          sent = a.a_sent;
+          inject = a.a_inject;
+          delivered = a.a_delivered;
+          handled = a.a_handled;
+          xfers = List.rev a.a_xfers;
+          retries = a.a_retries;
+          losses = a.a_losses;
+        })
+    accs;
+  let txn_list =
+    List.sort (fun a b -> compare a.t_id b.t_id) (List.rev !txns)
+  in
+  { by_id; txn_list }
+
+let msg t id = Hashtbl.find_opt t.by_id id
+let txns t = t.txn_list
+let num_msgs t = Hashtbl.length t.by_id
+
+let msgs t =
+  List.sort
+    (fun a b -> compare a.id b.id)
+    (Hashtbl.fold (fun _ m acc -> m :: acc) t.by_id [])
+
+let msgs_of_txn t txn_id =
+  List.filter (fun m -> m.txn = txn_id) (msgs t)
+
+(* Critical-path chain of a transaction: from the completing message walk
+   the parent links backwards while still inside the transaction. Parent
+   ids are strictly smaller than child ids (issue order), so the walk
+   terminates; the first message whose [txn] differs belongs to the
+   operation that merely unparked this one and is excluded. Returned in
+   causal (oldest-first) order. *)
+let chain t (txn : txn) =
+  let rec go acc prev id =
+    if id < 0 || id >= prev then acc
+    else
+      match Hashtbl.find_opt t.by_id id with
+      | Some m when m.txn = txn.t_id -> go (m :: acc) id m.parent
+      | _ -> acc
+  in
+  go [] max_int txn.t_completed_by

@@ -1,0 +1,70 @@
+(** Causal span trees folded from a flat trace-event stream.
+
+    {!build} groups the per-message events of one run ({!Trace.Msg_send},
+    {!Trace.Link_xfer}, {!Trace.Msg_deliver}, retries and losses) into one
+    {!msg} record per causal message id, and the miss-path
+    {!Trace.Dsm_access} events into one {!txn} record per causal
+    transaction. The [parent] links between messages (the id of the message
+    whose handler issued the send) form a forest of span trees rooted at
+    fiber- or timer-issued messages; {!chain} extracts the causal chain
+    that completed a given transaction — its critical path through the
+    protocol — which {!Analysis} turns into a cost decomposition. *)
+
+type msg = {
+  id : int;  (** unique causal id (monotone in issue order) *)
+  parent : int;  (** issuing message's id; [-1] from a fiber or timer *)
+  txn : int;  (** transaction served; [-1] outside any transaction *)
+  src : int;
+  dst : int;
+  size : int;
+  local : bool;  (** same-processor hop: never entered the network *)
+  level : int;  (** access-tree depth of the destination; [-1] if none *)
+  sent : float;  (** issue time *)
+  inject : float;  (** network injection (local: handler time) *)
+  delivered : float option;  (** tail arrival; [None] if lost for good *)
+  handled : float option;  (** destination handler run time *)
+  xfers : (int * float * float) list;
+      (** per-link occupancy [(link, start, finish)] in route order; empty
+          for local messages *)
+  retries : int;  (** reliable-envelope retransmissions *)
+  losses : int;  (** transmissions lost to injected faults *)
+}
+
+type txn = {
+  t_id : int;
+  t_node : int;  (** issuing processor *)
+  t_op : Trace.dsm_op;
+  t_var : int;  (** variable id; [-1] for barriers/reduces *)
+  t_var_name : string;
+  t_size : int;  (** payload size in bytes *)
+  t_start : float;
+  t_dur : float;  (** fiber blocking latency *)
+  t_completed_by : int;  (** id of the message that unblocked the fiber *)
+}
+
+type t
+
+val build : Trace.event list -> t
+(** Single pass over the event stream. Under faults, retransmission
+    duplicates keep the first delivery; ack traffic (ids without a
+    [Msg_send]) is dropped. *)
+
+val msg : t -> int -> msg option
+val msgs : t -> msg list
+(** All messages, ascending id. *)
+
+val num_msgs : t -> int
+
+val txns : t -> txn list
+(** All transactions, ascending id. *)
+
+val msgs_of_txn : t -> int -> msg list
+(** Every message tagged with the transaction (the full span tree,
+    including side branches like invalidation fan-out), ascending id. *)
+
+val chain : t -> txn -> msg list
+(** The transaction's completing causal chain, oldest first: starts at the
+    message whose handler unblocked the fiber and follows [parent] links
+    while they stay inside the transaction. Empty for transactions
+    completed synchronously. Handlers are instantaneous in simulated time,
+    so consecutive chain entries satisfy [child.sent = parent.handled]. *)

@@ -5,12 +5,33 @@ type drop_reason = Invalidated | Evicted
 type loss_reason = Loss_random | Loss_link_down | Loss_crashed
 
 type event =
-  | Msg_send of { ts : float; src : int; dst : int; size : int; local : bool }
-  | Msg_deliver of { ts : float; src : int; dst : int; size : int }
+  | Msg_send of {
+      ts : float;
+      id : int;
+      parent : int;
+      txn : int;
+      inject : float;
+      level : int;
+      src : int;
+      dst : int;
+      size : int;
+      local : bool;
+    }
+  | Msg_deliver of {
+      ts : float;
+      id : int;
+      txn : int;
+      handled : float;
+      src : int;
+      dst : int;
+      size : int;
+    }
   | Link_xfer of {
       start : float;
       finish : float;
       link : int;
+      msg : int;
+      txn : int;
       src : int;
       dst : int;
       size : int;
@@ -31,6 +52,8 @@ type event =
       op : dsm_op;
       size : int;
       hit : bool;
+      txn : int;
+      completed_by : int;
     }
   | Copy_add of {
       ts : float;
@@ -60,12 +83,22 @@ type event =
     }
   | Msg_lost of {
       ts : float;
+      msg : int;
+      txn : int;
       src : int;
       dst : int;
       size : int;
       reason : loss_reason;
     }
-  | Msg_retry of { ts : float; src : int; dst : int; size : int; attempt : int }
+  | Msg_retry of {
+      ts : float;
+      msg : int;
+      txn : int;
+      src : int;
+      dst : int;
+      size : int;
+      attempt : int;
+    }
 
 let timestamp = function
   | Msg_send { ts; _ } -> ts

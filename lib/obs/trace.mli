@@ -24,16 +24,55 @@ type loss_reason =
   | Loss_crashed  (** the destination was inside a crash-stop window *)
 
 type event =
-  | Msg_send of { ts : float; src : int; dst : int; size : int; local : bool }
-      (** A message enters the network at [ts] (CPU injection time not
-          included). [local] messages never occupy links. *)
-  | Msg_deliver of { ts : float; src : int; dst : int; size : int }
-      (** The message's tail arrived at the destination at [ts] (receive
-          overhead and handler execution follow). *)
+  | Msg_send of {
+      ts : float;  (** time the send was issued *)
+      id : int;  (** unique message id, monotone in issue order *)
+      parent : int;
+          (** id of the message whose handler issued this send; [-1] when
+              issued from a fiber (or a timer). Since handlers execute
+              instantaneously in simulated time, [ts] equals the parent's
+              [handled] time — causal chains are contiguous. *)
+      txn : int;
+          (** causal DSM transaction this message serves; [-1] outside any
+              transaction (hand-optimized apps, acks). The id is threaded
+              through every protocol hop, combining park and
+              retransmission the message spawns. *)
+      inject : float;
+          (** when the message actually enters the network: issue time plus
+              CPU queueing plus the send startup overhead. For [local]
+              messages, the time the destination handler runs (after
+              [local_overhead]). *)
+      level : int;
+          (** access-tree depth of the destination tree node (root 0) for
+              tree-protocol and combining-tree traffic; [-1] otherwise. *)
+      src : int;
+      dst : int;
+      size : int;
+      local : bool;
+    }
+      (** A message send was issued at [ts]. [local] messages never occupy
+          links. *)
+  | Msg_deliver of {
+      ts : float;
+      id : int;  (** matches the {!Msg_send} with the same id *)
+      txn : int;
+      handled : float;
+          (** when the destination handler actually ran: [ts] plus CPU
+              queueing plus the receive overhead (equals [ts] for
+              hardware-level acks, which cost no CPU). *)
+      src : int;
+      dst : int;
+      size : int;
+    }
+      (** The message's tail arrived at the destination at [ts]. Under
+          faults a retransmitted message can be delivered more than once
+          (span builders keep the first). *)
   | Link_xfer of {
       start : float;
       finish : float;
       link : int;
+      msg : int;  (** id of the {!Msg_send} occupying the link *)
+      txn : int;
       src : int;
       dst : int;
       size : int;
@@ -62,6 +101,14 @@ type event =
           (** payload size in bytes: the variable's size for data ops, the
               reducer's wire size for {!Reduce}, 0 for {!Barrier} *)
       hit : bool;  (** completed from the local copy, no transaction *)
+      txn : int;
+          (** causal transaction id shared with the protocol messages this
+              operation spawned; [-1] for read/write hits (no messages). *)
+      completed_by : int;
+          (** id of the message whose handler unblocked the fiber; [-1]
+              for hits and synchronously-completed operations. Walking its
+              [parent] chain backwards yields the transaction's critical
+              path (see {!Diva_obs.Analysis}). *)
     }
       (** One shared-memory operation issued by [node]'s fiber: [ts] is the
           issue time, [dur] the blocking latency (0 for hits). *)
@@ -95,6 +142,8 @@ type event =
           processor of its submesh. *)
   | Msg_lost of {
       ts : float;
+      msg : int;  (** id of the lost {!Msg_send} ([-1] for acks) *)
+      txn : int;
       src : int;
       dst : int;
       size : int;
@@ -102,7 +151,15 @@ type event =
     }
       (** A physical transmission was lost to an injected fault at [ts]
           (see {!Diva_faults}); the reliable envelope retransmits it. *)
-  | Msg_retry of { ts : float; src : int; dst : int; size : int; attempt : int }
+  | Msg_retry of {
+      ts : float;
+      msg : int;  (** id of the retransmitted {!Msg_send} *)
+      txn : int;
+      src : int;
+      dst : int;
+      size : int;
+      attempt : int;
+    }
       (** The reliable envelope retransmitted an unacknowledged message;
           [attempt] is 1 for the first retransmission. *)
 

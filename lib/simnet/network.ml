@@ -21,6 +21,8 @@ type mailbox = { inbox : msg Queue.t (* oldest first *); mutable waiters : waite
 type payload += Env of { seq : int; inner : payload } | Ack of { seq : int }
 
 type pend = {
+  p_id : int;  (* causal message id; retransmissions keep it *)
+  p_txn : int;
   p_src : Mesh.node;
   p_dst : Mesh.node;
   p_size : int;
@@ -53,6 +55,17 @@ type t = {
   mutable fibers : int;
   mutable trace : Trace.sink;
   mutable rel : reliable option;  (* Some iff an active fault schedule is installed *)
+  (* Causal context. [cur_msg]/[cur_txn] identify the message (and the DSM
+     transaction it serves) whose handler is currently executing; sends
+     issued inside the handler inherit them. Both are [-1] at top level
+     (fiber bodies, timers). The counters advance unconditionally — traced
+     and untraced runs allocate the same ids — and nothing in the
+     simulation reads them, so causal tracking cannot perturb a run. *)
+  mutable next_msg_id : int;
+  mutable next_txn_id : int;
+  mutable cur_msg : int;
+  mutable cur_txn : int;
+  mutable next_level : int;  (* one-shot tree-level tag for the next send *)
 }
 
 let default_handler t msg =
@@ -91,6 +104,11 @@ let create_nd ?(machine = Machine.gcel) ?(seed = 42) ~dims () =
     fibers = 0;
     trace = Trace.null;
     rel = None;
+    next_msg_id = 0;
+    next_txn_id = 0;
+    cur_msg = -1;
+    cur_txn = -1;
+    next_level = -1;
   }
 
 let create ?machine ?seed ~rows ~cols () =
@@ -113,6 +131,31 @@ let compute_times t = Array.copy t.node_compute
 let live_fibers t = t.fibers
 let trace t = t.trace
 let set_trace t sink = t.trace <- sink
+
+(* Causal context (see the [t] field comments). *)
+let fresh_txn t =
+  let id = t.next_txn_id in
+  t.next_txn_id <- id + 1;
+  id
+
+let set_txn t txn = t.cur_txn <- txn
+let cur_txn t = t.cur_txn
+let cur_msg t = t.cur_msg
+let tag_level t level = t.next_level <- level
+
+let fresh_msg_id t =
+  let id = t.next_msg_id in
+  t.next_msg_id <- id + 1;
+  id
+
+(* Run [f] with the causal context set to the delivered message; reset to
+   top level afterwards so context never leaks across event callbacks. *)
+let with_ctx t ~id ~txn f =
+  t.cur_msg <- id;
+  t.cur_txn <- txn;
+  f ();
+  t.cur_msg <- -1;
+  t.cur_txn <- -1
 
 let set_faults t f =
   (* Installing the empty schedule is a no-op: every query degenerates to
@@ -187,10 +230,13 @@ let reserve_cpu t node ~from dt =
   t.cpu_free.(node) <- fin;
   fin
 
-let rec deliver t msg at =
+(* Schedules the handler and returns the time it runs, so the caller can
+   record it in the delivery event. *)
+let rec deliver t msg ~id ~txn at =
   (* Receive overhead on the destination CPU, then the handler runs. *)
   let handle_at = reserve_cpu t msg.m_dst ~from:at t.machine.Machine.recv_overhead in
-  Sim.schedule t.sim handle_at (fun () -> dispatch t msg)
+  Sim.schedule t.sim handle_at (fun () -> with_ctx t ~id ~txn (fun () -> dispatch t msg));
+  handle_at
 
 (* Envelope layer between physical delivery and the node handler. Without
    installed faults this is exactly the legacy handler call. *)
@@ -206,12 +252,13 @@ and dispatch t msg =
           end
       | Env { seq; inner } ->
           (* Always (re-)acknowledge — the previous ack may have been lost —
-             but hand only the first copy to the handler. *)
+             but hand only the first copy to the handler. The ack gets a
+             fresh id and inherits the envelope's transaction. *)
           ignore
-            (transmit t rel
+            (transmit t rel ~id:(fresh_msg_id t) ~txn:t.cur_txn
                { m_src = msg.m_dst; m_dst = msg.m_src;
                  m_size = Faults.ack_size; m_payload = Ack { seq } }
-              : float);
+              : float * float);
           if not (Hashtbl.mem rel.rl_seen seq) then begin
             Hashtbl.add rel.rl_seen seq ();
             t.handlers.(msg.m_dst) t { msg with m_payload = inner }
@@ -226,8 +273,8 @@ and dispatch t msg =
    armed from when the attempt actually resolved rather than when it was
    injected (a message queued behind congested links must not be
    retransmitted while still in flight: that feedback loop melts the
-   network). *)
-and transmit t rel msg =
+   network). Returns [(inject_at, outcome)]. *)
+and transmit t rel ~id ~txn msg =
   let f = rel.rl_faults in
   let src = msg.m_src and dst = msg.m_dst and size = msg.m_size in
   (* Acks are modelled as hardware-level control messages: they occupy
@@ -250,8 +297,9 @@ and transmit t rel msg =
     if Trace.enabled t.trace then
       Trace.emit t.trace
         (Trace.Msg_lost
-           { ts = inject_at; src; dst; size; reason = Trace.Loss_random });
-    inject_at
+           { ts = inject_at; msg = id; txn; src; dst; size;
+             reason = Trace.Loss_random });
+    (inject_at, inject_at)
   end
   else begin
     let arrival = ref inject_at in
@@ -267,7 +315,8 @@ and transmit t rel msg =
             if Trace.enabled t.trace then
               Trace.emit t.trace
                 (Trace.Msg_lost
-                   { ts = start; src; dst; size; reason = Trace.Loss_link_down })
+                   { ts = start; msg = id; txn; src; dst; size;
+                     reason = Trace.Loss_link_down })
           end
           else begin
             let occupancy =
@@ -279,14 +328,15 @@ and transmit t rel msg =
             if Trace.enabled t.trace then
               Trace.emit t.trace
                 (Trace.Link_xfer
-                   { start; finish = start +. occupancy; link; src; dst; size });
+                   { start; finish = start +. occupancy; link; msg = id; txn;
+                     src; dst; size });
             last_start := start;
             last_occupancy := occupancy;
             arrival := start +. t.machine.Machine.hop_latency
           end
         end);
     match !lost_at with
-    | Some ts -> ts
+    | Some ts -> (inject_at, ts)
     | None ->
         let delivered_at = !last_start +. !last_occupancy in
         if Faults.crashed f ~node:dst ~now:delivered_at then begin
@@ -294,17 +344,26 @@ and transmit t rel msg =
           if Trace.enabled t.trace then
             Trace.emit t.trace
               (Trace.Msg_lost
-                 { ts = delivered_at; src; dst; size;
+                 { ts = delivered_at; msg = id; txn; src; dst; size;
                    reason = Trace.Loss_crashed })
         end
         else begin
+          let handled =
+            if is_ack then begin
+              (* Hardware-level control message: no receive overhead, the
+                 envelope layer consumes it at arrival time. *)
+              Sim.schedule t.sim delivered_at (fun () ->
+                  with_ctx t ~id ~txn (fun () -> dispatch t msg));
+              delivered_at
+            end
+            else deliver t msg ~id ~txn delivered_at
+          in
           if Trace.enabled t.trace then
             Trace.emit t.trace
-              (Trace.Msg_deliver { ts = delivered_at; src; dst; size });
-          if is_ack then Sim.schedule t.sim delivered_at (fun () -> dispatch t msg)
-          else deliver t msg delivered_at
+              (Trace.Msg_deliver
+                 { ts = delivered_at; id; txn; handled; src; dst; size })
         end;
-        delivered_at
+        (inject_at, delivered_at)
   end
 
 (* Retransmission timer, armed from the attempt's outcome time [from]
@@ -325,10 +384,10 @@ and retransmit t rel seq p =
   if Trace.enabled t.trace then
     Trace.emit t.trace
       (Trace.Msg_retry
-         { ts = now t; src = p.p_src; dst = p.p_dst; size = p.p_size;
-           attempt = p.p_attempt });
-  let outcome =
-    transmit t rel
+         { ts = now t; msg = p.p_id; txn = p.p_txn; src = p.p_src;
+           dst = p.p_dst; size = p.p_size; attempt = p.p_attempt });
+  let _, outcome =
+    transmit t rel ~id:p.p_id ~txn:p.p_txn
       { m_src = p.p_src; m_dst = p.p_dst; m_size = p.p_size;
         m_payload = Env { seq; inner = p.p_inner } }
   in
@@ -336,37 +395,50 @@ and retransmit t rel seq p =
 
 let send t ~src ~dst ~size payload =
   let msg = { m_src = src; m_dst = dst; m_size = size; m_payload = payload } in
+  let id = fresh_msg_id t in
+  let txn = t.cur_txn and parent = t.cur_msg and level = t.next_level in
+  t.next_level <- -1;
+  let t0 = now t in
   if src = dst then begin
     (* Node-local protocol hop: no startup, no network traffic. *)
+    let at = reserve_cpu t src ~from:t0 t.machine.Machine.local_overhead in
     if Trace.enabled t.trace then
       Trace.emit t.trace
-        (Trace.Msg_send { ts = now t; src; dst; size; local = true });
-    let at = reserve_cpu t src ~from:(now t) t.machine.Machine.local_overhead in
-    Sim.schedule t.sim at (fun () -> t.handlers.(dst) t msg)
+        (Trace.Msg_send
+           { ts = t0; id; parent; txn; inject = at; level; src; dst; size;
+             local = true });
+    Sim.schedule t.sim at (fun () ->
+        with_ctx t ~id ~txn (fun () -> t.handlers.(dst) t msg))
   end
   else
     match t.rel with
     | Some rel ->
-        if Trace.enabled t.trace then
-          Trace.emit t.trace
-            (Trace.Msg_send { ts = now t; src; dst; size; local = false });
         let seq = rel.rl_next_seq in
         rel.rl_next_seq <- seq + 1;
         Faults.count_enveloped rel.rl_faults;
-        let p = { p_src = src; p_dst = dst; p_size = size; p_inner = payload;
-                  p_attempt = 0; p_last_tx = now t } in
+        let p = { p_id = id; p_txn = txn; p_src = src; p_dst = dst;
+                  p_size = size; p_inner = payload; p_attempt = 0;
+                  p_last_tx = t0 } in
         Hashtbl.add rel.rl_pending seq p;
-        let outcome =
-          transmit t rel { msg with m_payload = Env { seq; inner = payload } }
+        let inject_at, outcome =
+          transmit t rel ~id ~txn
+            { msg with m_payload = Env { seq; inner = payload } }
         in
-        arm_timeout t rel seq p ~from:outcome
-    | None -> begin
         if Trace.enabled t.trace then
           Trace.emit t.trace
-            (Trace.Msg_send { ts = now t; src; dst; size; local = false });
+            (Trace.Msg_send
+               { ts = t0; id; parent; txn; inject = inject_at; level; src;
+                 dst; size; local = false });
+        arm_timeout t rel seq p ~from:outcome
+    | None -> begin
         t.startup_count <- t.startup_count + 1;
         t.node_startup_count.(src) <- t.node_startup_count.(src) + 1;
-        let inject_at = reserve_cpu t src ~from:(now t) t.machine.Machine.send_overhead in
+        let inject_at = reserve_cpu t src ~from:t0 t.machine.Machine.send_overhead in
+        if Trace.enabled t.trace then
+          Trace.emit t.trace
+            (Trace.Msg_send
+               { ts = t0; id; parent; txn; inject = inject_at; level; src;
+                 dst; size; local = false });
         let occupancy = Machine.transfer_time t.machine size in
         (* Eager wormhole approximation: the header advances hop by hop, each
            link is occupied for the full transfer time, the tail leaves the last
@@ -380,14 +452,16 @@ let send t ~src ~dst ~size payload =
             if Trace.enabled t.trace then
               Trace.emit t.trace
                 (Trace.Link_xfer
-                   { start; finish = start +. occupancy; link; src; dst; size });
+                   { start; finish = start +. occupancy; link; msg = id; txn;
+                     src; dst; size });
             last_start := start;
             arrival := start +. t.machine.Machine.hop_latency);
         let delivered_at = !last_start +. occupancy in
+        let handled = deliver t msg ~id ~txn delivered_at in
         if Trace.enabled t.trace then
           Trace.emit t.trace
-            (Trace.Msg_deliver { ts = delivered_at; src; dst; size });
-        deliver t msg delivered_at
+            (Trace.Msg_deliver
+               { ts = delivered_at; id; txn; handled; src; dst; size })
       end
 
 (* Forced early retransmission of the envelopes still pending from [src],
@@ -437,13 +511,22 @@ let spawn t node f =
       }
   in
   ignore node;
-  Sim.schedule_now t.sim body
+  (* Fiber bodies start at top level, outside any message's causal extent. *)
+  Sim.schedule_now t.sim (fun () ->
+      t.cur_msg <- -1;
+      t.cur_txn <- -1;
+      body ())
 
 let compute t node dt =
   if dt < 0.0 then invalid_arg "Network.compute: negative time";
   t.node_compute.(node) <- t.node_compute.(node) +. dt;
   let fin = reserve_cpu t node ~from:(now t) dt in
-  suspend (fun resume -> Sim.schedule t.sim fin (fun () -> resume ()))
+  suspend (fun resume ->
+      Sim.schedule t.sim fin (fun () ->
+          (* A timer resume is not caused by any message. *)
+          t.cur_msg <- -1;
+          t.cur_txn <- -1;
+          resume ()))
 
 let charge t node dt =
   if dt < 0.0 then invalid_arg "Network.charge: negative time";

@@ -111,6 +111,38 @@ val compute_times : t -> float array
 val trace : t -> Diva_obs.Trace.sink
 val set_trace : t -> Diva_obs.Trace.sink -> unit
 
+(** {2 Causal context}
+
+    Every message carries a unique id, the id of the message whose handler
+    issued it ([parent]) and the DSM transaction it serves ([txn]); the
+    trio appears on every {!Diva_obs.Trace} message event, turning the
+    flat event stream into per-transaction span trees
+    ({!Diva_obs.Spans}). The context is maintained unconditionally but
+    read only by tracing, so traced runs stay bit-identical to untraced
+    ones. *)
+
+val fresh_txn : t -> int
+(** Allocate a new DSM transaction id (monotone from 0). Called once per
+    blocking shared-memory operation. *)
+
+val set_txn : t -> int -> unit
+(** Set the current causal transaction: subsequent sends (until the next
+    handler dispatch ends or the context is reset) are tagged with it.
+    Protocol layers use this when dequeuing a parked operation, so its
+    messages are attributed to the operation that queued them. *)
+
+val cur_txn : t -> int
+(** The transaction whose extent we are in; [-1] at top level. *)
+
+val cur_msg : t -> int
+(** The id of the message whose handler is executing; [-1] at top level.
+    A fiber resumed from inside a handler reads this right after waking to
+    learn which message completed its blocking operation. *)
+
+val tag_level : t -> int -> unit
+(** Tag the next {!send} with an access-tree level (one-shot; reset by the
+    send). Purely observational. *)
+
 val attach_metrics : t -> ?interval:float -> Diva_obs.Metrics.t -> unit
 (** Register the standard gauges (link congestion and load, busy links and
     CPUs, startups, accumulated compute, live fibers — plus lost messages,

@@ -1,0 +1,19 @@
+(* Regenerate the golden observability files under test/data/ after an
+   intentional format change:
+
+     dune exec test/gen_golden.exe
+
+   writes into the source tree (run from the repository root). *)
+
+module Runner = Diva_harness.Runner
+module Trace = Diva_obs.Trace
+
+let () =
+  let tr = Trace.create () in
+  ignore
+    (Runner.run_matmul ~seed:17 ~rows:2 ~cols:2 ~block:64
+       ~obs:{ Runner.null_obs with Runner.obs_trace = tr }
+       (Runner.Strategy (Diva_core.Dsm.access_tree ~arity:4 ())));
+  let path = "test/data/golden_chrome_2x2.json" in
+  Diva_obs.Chrome_trace.write_file ~path ~num_nodes:4 (Trace.events tr);
+  Printf.printf "wrote %s (%d events)\n" path (Trace.count tr)

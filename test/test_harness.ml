@@ -73,9 +73,124 @@ let test_heatmap_render_shape () =
   let s = Heatmap.render net in
   (* Header line + one line per row, each cols characters wide. *)
   let lines = String.split_on_char '\n' s in
-  let grid = List.filter (fun l -> l <> "" && not (contains l "traffic")) lines in
+  let grid =
+    List.filter
+      (fun l -> l <> "" && (not (contains l "traffic")) && not (contains l "link"))
+      lines
+  in
   Alcotest.(check int) "3 rows" 3 (List.length grid);
   List.iter (fun l -> Alcotest.(check int) "5 cols" 5 (String.length l)) grid
+
+let test_heatmap_hottest_link () =
+  let net, dsm = make_dsm ~rows:4 ~cols:4 Dsm.Fixed_home in
+  let v = Dsm.create_var dsm ~owner:5 ~size:128 0 in
+  run_procs net (fun p -> ignore (Dsm.read dsm p v));
+  (match Heatmap.hottest_link ~mode:Heatmap.Bytes net with
+  | None -> Alcotest.fail "traffic but no hottest link"
+  | Some (link, src, dst, amount) ->
+      let per_link = Link_stats.per_link_bytes (Network.stats net) in
+      Array.iter
+        (fun b -> Alcotest.(check bool) "is the max" true (b <= amount))
+        per_link;
+      Alcotest.(check int) "amount matches stats" per_link.(link) amount;
+      let s, d = Diva_mesh.Mesh.link_endpoints (Network.mesh net) link in
+      Alcotest.(check int) "src" s src;
+      Alcotest.(check int) "dst" d dst);
+  (* Message mode counts crossings, not payload. *)
+  match Heatmap.hottest_link ~mode:Heatmap.Msgs net with
+  | None -> Alcotest.fail "no hottest link in msgs mode"
+  | Some (link, _, _, amount) ->
+      Alcotest.(check int) "msgs mode reads message stats"
+        (Link_stats.per_link_msgs (Network.stats net)).(link)
+        amount
+
+let test_heatmap_link_values_fold () =
+  let mesh = Diva_mesh.Mesh.create_nd ~dims:[| 3; 3 |] in
+  (* One unit on every directed link: each node accumulates its out-degree. *)
+  let values =
+    List.init (Diva_mesh.Mesh.num_links mesh) (fun l -> (l, 1.0))
+  in
+  let nodes = Heatmap.nodes_of_link_values mesh values in
+  let total = Array.fold_left ( +. ) 0.0 nodes in
+  Alcotest.(check (float 1e-9))
+    "fold conserves the values"
+    (float_of_int (Diva_mesh.Mesh.num_links mesh))
+    total;
+  let s = Heatmap.render_grid mesh ~label:"w" nodes in
+  Alcotest.(check bool) "labelled" true (contains s "w (max")
+
+(* --- bench regression gate ---------------------------------------- *)
+
+module Gate = Diva_harness.Bench_gate
+module Json = Diva_obs.Json
+
+let doc fields = Json.Obj [ ("apps", Json.Obj fields) ]
+
+let matmul_entry time congestion hits =
+  ( "matmul",
+    Json.Obj
+      [ ("time_us", Json.Float time);
+        ("congestion_bytes", Json.Int congestion);
+        ("dsm_read_hits", Json.Int hits) ] )
+
+let test_gate_identical_passes () =
+  let d = doc [ matmul_entry 1000.0 5000 40 ] in
+  let vs = Gate.compare_docs ~baseline:d ~current:d () in
+  Alcotest.(check int) "no failures" 0 (List.length (Gate.failures vs));
+  Alcotest.(check bool) "compared something" true (List.length vs >= 3)
+
+let test_gate_flags_regression () =
+  let baseline = doc [ matmul_entry 1000.0 5000 40 ] in
+  (* 50% slower: far beyond the 10% tolerance. *)
+  let current = doc [ matmul_entry 1500.0 5000 40 ] in
+  let vs = Gate.compare_docs ~baseline ~current () in
+  (match Gate.failures vs with
+  | [ v ] ->
+      Alcotest.(check bool) "names the metric" true
+        (contains v.Gate.v_path "time_us");
+      Alcotest.(check bool) "is a regression" true
+        (v.Gate.v_status = Gate.Regressed)
+  | vs -> Alcotest.failf "expected exactly one failure, got %d" (List.length vs));
+  (* 50% faster is an improvement, never a failure. *)
+  let current = doc [ matmul_entry 500.0 5000 40 ] in
+  let vs = Gate.compare_docs ~baseline ~current () in
+  Alcotest.(check int) "improvement passes" 0 (List.length (Gate.failures vs));
+  Alcotest.(check bool) "reported as improved" true
+    (List.exists (fun v -> v.Gate.v_status = Gate.Improved) vs)
+
+let test_gate_direction_aware () =
+  (* Fewer cache hits is worse even though the number went down. *)
+  let baseline = doc [ matmul_entry 1000.0 5000 40 ] in
+  let current = doc [ matmul_entry 1000.0 5000 20 ] in
+  let vs = Gate.compare_docs ~baseline ~current () in
+  match Gate.failures vs with
+  | [ v ] ->
+      Alcotest.(check bool) "hits regressed" true
+        (contains v.Gate.v_path "dsm_read_hits")
+  | vs -> Alcotest.failf "expected exactly one failure, got %d" (List.length vs)
+
+let test_gate_structural_drift () =
+  let baseline = doc [ matmul_entry 1000.0 5000 40 ] in
+  let current =
+    doc
+      [ ( "matmul",
+          Json.Obj
+            [ ("time_us", Json.Float 1000.0);
+              ("congestion_bytes", Json.Int 5000);
+              ("startups", Json.Int 3) ] ) ]
+  in
+  let vs = Gate.compare_docs ~baseline ~current () in
+  let has st path =
+    List.exists
+      (fun v -> v.Gate.v_status = st && contains v.Gate.v_path path)
+      (Gate.failures vs)
+  in
+  Alcotest.(check bool) "dropped metric is MISSING" true
+    (has Gate.Missing "dsm_read_hits");
+  Alcotest.(check bool) "new metric is EXTRA" true (has Gate.Extra "startups");
+  let r = Gate.render vs in
+  Alcotest.(check bool) "render names them" true
+    (contains r "MISSING" && contains r "EXTRA")
 
 let test_report_tables () =
   let m =
@@ -106,5 +221,16 @@ let suite =
     Alcotest.test_case "heatmap accounts all traffic" `Quick
       test_heatmap_accounts_all_traffic;
     Alcotest.test_case "heatmap render shape" `Quick test_heatmap_render_shape;
+    Alcotest.test_case "heatmap hottest link" `Quick test_heatmap_hottest_link;
+    Alcotest.test_case "heatmap folds link values" `Quick
+      test_heatmap_link_values_fold;
+    Alcotest.test_case "bench gate: identical passes" `Quick
+      test_gate_identical_passes;
+    Alcotest.test_case "bench gate: flags regression" `Quick
+      test_gate_flags_regression;
+    Alcotest.test_case "bench gate: direction aware" `Quick
+      test_gate_direction_aware;
+    Alcotest.test_case "bench gate: structural drift" `Quick
+      test_gate_structural_drift;
     Alcotest.test_case "report tables" `Quick test_report_tables;
   ]

@@ -13,6 +13,7 @@ let () =
       ("edges", Test_edges.suite);
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);
+      ("analysis", Test_analysis.suite);
       ("workload", Test_workload.suite);
       ("faults", Test_faults.suite);
     ]

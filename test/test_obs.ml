@@ -186,6 +186,67 @@ let test_metrics_csv () =
   in
   Alcotest.(check bool) "strictly increasing stamps" true (mono stamps)
 
+(* Counter tracks and flow arrows added to the Chrome export. *)
+let test_chrome_counters_and_flows () =
+  let tr, _ = traced_run () in
+  let s = Diva_obs.Chrome_trace.to_string ~num_nodes:16 (Trace.events tr) in
+  List.iter
+    (fun needle ->
+      let n = String.length needle and m = String.length s in
+      let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+      Alcotest.(check bool) needle true (n = 0 || go 0))
+    [
+      "\"in-flight messages\""; "\"busy links\""; "\"copies held\"";
+      "\"ph\":\"C\""; "\"ph\":\"s\""; "\"ph\":\"f\""; "\"bp\":\"e\"";
+    ]
+
+(* The Prometheus exposition of the final sample. *)
+let test_prometheus_export () =
+  let m = Metrics.create () in
+  Alcotest.(check string) "empty registry" "" (Metrics.to_prometheus m);
+  let c = Metrics.counter m "msgs sent" in
+  Metrics.gauge m "busy" (fun () -> 3.0);
+  Metrics.incr c ~by:2.0 ();
+  Metrics.sample m ~ts:10.0;
+  Metrics.incr c ~by:5.0 ();
+  Metrics.sample m ~ts:250.0;
+  let s = Metrics.to_prometheus m in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) line true
+        (List.mem line (String.split_on_char '\n' s)))
+    [
+      "# TYPE diva_msgs_sent counter";
+      "diva_msgs_sent 7";
+      "# TYPE diva_busy gauge";
+      "diva_busy 3";
+      "# TYPE diva_sample_ts_us gauge";
+      "diva_sample_ts_us 250";
+    ]
+
+(* Golden file: the Chrome export of a fixed small run must stay
+   byte-for-byte stable (regenerate with test/gen_golden.exe after an
+   intentional format change). *)
+let test_chrome_golden () =
+  let tr = Trace.create () in
+  ignore
+    (Runner.run_matmul ~seed:17 ~rows:2 ~cols:2 ~block:64
+       ~obs:{ Runner.null_obs with Runner.obs_trace = tr }
+       (Runner.Strategy strategy));
+  (* [write_file] (used by gen_golden) terminates the file with a newline. *)
+  let got =
+    Diva_obs.Chrome_trace.to_string ~num_nodes:4 (Trace.events tr) ^ "\n"
+  in
+  let path = "data/golden_chrome_2x2.json" in
+  let ic = open_in_bin path in
+  let want = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  if got <> want then
+    Alcotest.failf
+      "chrome export drifted from %s (%d vs %d bytes); regenerate with dune \
+       exec test/gen_golden.exe if intentional"
+      path (String.length got) (String.length want)
+
 let test_json_writer () =
   let doc =
     Json.Obj
@@ -212,5 +273,9 @@ let suite =
     Alcotest.test_case "chrome export well-formed + monotone" `Quick
       test_chrome_export;
     Alcotest.test_case "metrics csv shape" `Quick test_metrics_csv;
+    Alcotest.test_case "chrome counters and flows" `Quick
+      test_chrome_counters_and_flows;
+    Alcotest.test_case "prometheus export" `Quick test_prometheus_export;
+    Alcotest.test_case "chrome export golden file" `Quick test_chrome_golden;
     Alcotest.test_case "json writer escaping" `Quick test_json_writer;
   ]
