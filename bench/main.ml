@@ -490,11 +490,18 @@ let fault_degradation () =
 (* A fixed matrix of (app x mesh x strategy) runs whose full measurement
    records are dumped as JSON, so successive PRs leave a comparable,
    machine-readable benchmark trail. Deliberately modest sizes: the file is
-   regenerated by `bench --only bench_json` in seconds. *)
+   regenerated by `bench --only bench_json` in seconds. Under --paper the
+   matrix switches to paper-sized problems (a separate committed baseline,
+   BENCH_paper_baseline.json, gates that variant nightly); the "scale"
+   field keeps the two document families from ever gating each other. *)
 let bench_doc () =
   let open Diva_obs.Json in
   let fields m = Obj (Runner.measurement_fields m) in
   let mesh_label q = Printf.sprintf "%dx%d" q q in
+  let block = if !paper_scale then 1024 else 256 in
+  let keys = if !paper_scale then 4096 else 1024 in
+  let nbodies = if !paper_scale then 4000 else 1000 in
+  let nbody_meshes = if !paper_scale then [ 16 ] else [ 8 ] in
   let strategies =
     [
       ("hand-optimized", Runner.Hand_optimized);
@@ -510,7 +517,7 @@ let bench_doc () =
           Obj
             (List.map
                (fun (sn, s) ->
-                 (sn, fields (Runner.run_matmul ~rows:q ~cols:q ~block:256 s)))
+                 (sn, fields (Runner.run_matmul ~rows:q ~cols:q ~block s)))
                strategies) ))
       [ 4; 8; 16 ]
   in
@@ -521,12 +528,12 @@ let bench_doc () =
           Obj
             (List.map
                (fun (sn, s) ->
-                 (sn, fields (Runner.run_bitonic ~rows:q ~cols:q ~keys:1024 s)))
+                 (sn, fields (Runner.run_bitonic ~rows:q ~cols:q ~keys s)))
                strategies) ))
       [ 4; 8; 16 ]
   in
   let nbody =
-    let cfg = Barnes_hut.default_config ~nbodies:1000 in
+    let cfg = Barnes_hut.default_config ~nbodies in
     List.map
       (fun q ->
         ( mesh_label q,
@@ -542,7 +549,7 @@ let bench_doc () =
                            (Runner.run_barnes_hut ~rows:q ~cols:q ~cfg s)
                              .Runner.bh_total ))
                strategies) ))
-      [ 8 ]
+      nbody_meshes
   in
   let workload =
     List.map
@@ -563,6 +570,7 @@ let bench_doc () =
   Obj
     [
       ("schema", String "diva-bench/1");
+      ("scale", String (if !paper_scale then "paper" else "default"));
       ("units", Obj [ ("time_us", String "simulated microseconds") ]);
       ( "apps",
         Obj
@@ -582,7 +590,7 @@ let bench_json () =
 (* Regression gate: rerun the bench_json matrix in memory and compare it
    against a committed baseline. Exits non-zero on any regression,
    missing/extra metric or shape mismatch (see Diva_harness.Bench_gate). *)
-let bench_check path =
+let bench_check ~current path =
   banner (Printf.sprintf "bench --check: comparing against %s" path);
   let baseline =
     let ic = open_in_bin path in
@@ -595,15 +603,40 @@ let bench_check path =
         Printf.eprintf "bench --check: cannot parse %s: %s\n" path e;
         exit 2
   in
-  let verdicts =
-    Diva_harness.Bench_gate.compare_docs ~baseline ~current:(bench_doc ()) ()
-  in
+  let verdicts = Diva_harness.Bench_gate.compare_docs ~baseline ~current () in
   print_string (Diva_harness.Bench_gate.render verdicts);
   if Diva_harness.Bench_gate.failures verdicts <> [] then begin
     Printf.printf "bench --check: FAILED against %s\n" path;
-    exit 1
+    false
   end
-  else Printf.printf "bench --check: OK against %s\n" path
+  else begin
+    Printf.printf "bench --check: OK against %s\n" path;
+    true
+  end
+
+(* History drift gate: the same comparison, but against the oldest entry of
+   the per-commit ring, so N successive shifts that each pass the per-PR
+   tolerance still get caught once they compound past it. *)
+let bench_history ~current dir =
+  banner (Printf.sprintf "bench --history: drift check against ring %s" dir);
+  match Diva_harness.Bench_gate.drift ~dir ~current () with
+  | None ->
+      Printf.printf "bench --history: %s is empty, nothing to compare\n" dir;
+      true
+  | Some (name, verdicts) ->
+      Printf.printf "oldest ring entry: %s\n" name;
+      print_string (Diva_harness.Bench_gate.render verdicts);
+      if Diva_harness.Bench_gate.failures verdicts <> [] then begin
+        Printf.printf
+          "bench --history: DRIFT against %s/%s — small per-PR shifts have \
+           compounded past tolerance\n"
+          dir name;
+        false
+      end
+      else begin
+        Printf.printf "bench --history: OK against %s/%s\n" dir name;
+        true
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
@@ -678,6 +711,8 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let check_baseline : string option ref = ref None
+let history_dir : string option ref = ref None
+let history_label : string option ref = ref None
 
 let () =
   let specs =
@@ -691,12 +726,48 @@ let () =
         Arg.String (fun s -> check_baseline := Some s),
         "FILE  compare the bench_json matrix against a committed baseline \
          and exit non-zero on regression" );
+      ( "--history",
+        Arg.String (fun s -> history_dir := Some s),
+        "DIR  compare the bench_json matrix against the oldest entry of the \
+         bench-history ring in DIR and exit non-zero on compounded drift" );
+      ( "--history-append",
+        Arg.String (fun s -> history_label := Some s),
+        "LABEL  append the current matrix to the --history ring as the \
+         newest entry (e.g. LABEL = commit sha), pruning to the last 10" );
     ]
   in
   Arg.parse specs (fun _ -> ()) "diva benchmark harness";
-  match !check_baseline with
-  | Some path -> bench_check path
-  | None ->
+  (match (!history_dir, !history_label) with
+  | None, Some _ ->
+      Printf.eprintf "bench: --history-append needs --history DIR\n";
+      exit 2
+  | _ -> ());
+  match (!check_baseline, !history_dir) with
+  | (Some _, _ | _, Some _) as _gate ->
+      (* Gate mode: one shared matrix run, every requested comparison, a
+         single combined exit code. *)
+      let current = bench_doc () in
+      let ok_check =
+        match !check_baseline with
+        | Some path -> bench_check ~current path
+        | None -> true
+      in
+      let ok_history =
+        match !history_dir with
+        | Some dir ->
+            let ok = bench_history ~current dir in
+            (match !history_label with
+            | Some label ->
+                let name =
+                  Diva_harness.Bench_gate.history_append ~dir ~label current
+                in
+                Printf.printf "bench --history-append: wrote %s/%s\n" dir name
+            | None -> ());
+            ok
+        | None -> true
+      in
+      if not (ok_check && ok_history) then exit 1
+  | None, None ->
   let experiments =
     [
       ("fig3", fig3); ("fig4", fig4); ("fig6", fig6); ("fig7", fig7);

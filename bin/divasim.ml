@@ -109,6 +109,7 @@ type obs_opts = {
   prom_file : string option;
   manifest_file : string option;
   record_file : string option;
+  events_file : string option;
   sample_us : float;
   fault_sched : Fault_schedule.t;
 }
@@ -177,6 +178,17 @@ let obs_opts_t =
              (see docs/WORKLOAD.md). Feed it back with $(b,divasim workload \
              --replay FILE).")
   in
+  let events =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Record the run's full causal event stream as a versioned JSONL \
+             trace (see docs/OBSERVABILITY.md), streamed line by line as the \
+             simulation runs. Post-mortem it later with $(b,divasim analyze \
+             --offline FILE) — no re-simulation needed.")
+  in
   let faults_conv =
     let parse s =
       match Fault_schedule.read s with
@@ -200,12 +212,14 @@ let obs_opts_t =
              travel in a reliable ack/retry envelope while faults are \
              active; the run report gains a $(b,faults) section.")
   in
-  let mk trace_file metrics_file prom_file manifest_file record_file sample_us
-      fault_sched =
+  let mk trace_file metrics_file prom_file manifest_file record_file
+      events_file sample_us fault_sched =
     { trace_file; metrics_file; prom_file; manifest_file; record_file;
-      sample_us; fault_sched }
+      events_file; sample_us; fault_sched }
   in
-  Term.(const mk $ trace $ metrics $ prom $ manifest $ record $ sample $ faults)
+  Term.(
+    const mk $ trace $ metrics $ prom $ manifest $ record $ events $ sample
+    $ faults)
 
 (* Fail on an unwritable artifact destination before the (possibly long)
    simulation runs, not after. *)
@@ -223,22 +237,49 @@ let preflight oo =
   check oo.metrics_file;
   check oo.prom_file;
   check oo.manifest_file;
-  check oo.record_file
+  check oo.record_file;
+  check oo.events_file
 
-let make_obs oo =
+let machine_overheads (m : Diva_simnet.Machine.t) =
+  { Diva_obs.Analysis.send_overhead = m.Diva_simnet.Machine.send_overhead;
+    recv_overhead = m.Diva_simnet.Machine.recv_overhead;
+    local_overhead = m.Diva_simnet.Machine.local_overhead }
+
+(* [--events] streams each event to disk as it is emitted, so the header
+   (app, mesh, strategy, seed, machine overheads) must be known before the
+   run; the runners always simulate the GCel machine model. When another
+   artifact needs the in-memory event list too, the sink tees; with
+   [--events] alone, recording costs O(1) memory. *)
+let make_obs oo ~app ~dims ~strategy ~seed ~params =
   preflight oo;
-  {
-    Runner.obs_trace =
-      (match (oo.trace_file, oo.record_file) with
-      | None, None -> Diva_obs.Trace.null
-      | _ -> Diva_obs.Trace.create ());
-    obs_metrics =
-      (match (oo.metrics_file, oo.prom_file) with
-      | None, None -> None
-      | _ -> Some (Diva_obs.Metrics.create ()));
-    obs_sample_interval = oo.sample_us;
-    obs_faults = oo.fault_sched;
-  }
+  let buffering = oo.trace_file <> None || oo.record_file <> None in
+  let trace, events_oc =
+    match oo.events_file with
+    | None ->
+        ( (if buffering then Diva_obs.Trace.create () else Diva_obs.Trace.null),
+          None )
+    | Some path ->
+        let oc = open_out path in
+        let header =
+          Diva_obs.Streaming.make_header ~params ~app ~dims ~strategy ~seed
+            ~overheads:(machine_overheads Diva_simnet.Machine.gcel) ()
+        in
+        Diva_obs.Streaming.write_header oc header;
+        let write e = Diva_obs.Trace.write_event oc e in
+        ( (if buffering then Diva_obs.Trace.tee write
+           else Diva_obs.Trace.stream write),
+          Some oc )
+  in
+  ( {
+      Runner.obs_trace = trace;
+      obs_metrics =
+        (match (oo.metrics_file, oo.prom_file) with
+        | None, None -> None
+        | _ -> Some (Diva_obs.Metrics.create ()));
+      obs_sample_interval = oo.sample_us;
+      obs_faults = oo.fault_sched;
+    },
+    events_oc )
 
 (* The fault injector lives on the network, which the runners create and
    discard internally; the [on_net] hook (also used for the heatmap) runs
@@ -269,9 +310,15 @@ let write_text path s =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
 
-let write_artifacts oo (obs : Runner.obs) ~app ~dims ~strategy ~seed ~params
-    ~measurements =
+let write_artifacts oo (obs : Runner.obs) ~events_oc ~app ~dims ~strategy ~seed
+    ~params ~measurements =
   try
+    (match (oo.events_file, events_oc) with
+    | Some path, Some oc ->
+        close_out oc;
+        Printf.printf "events   -> %s (%d events)\n" path
+          (Diva_obs.Trace.count obs.Runner.obs_trace)
+    | _ -> ());
     let manifest () =
       Diva_obs.Manifest.make ~app ~dims ~strategy ~seed ~params ~measurements
     in
@@ -344,7 +391,14 @@ let matmul_cmd =
   let run dims strategy block compute seed heatmap oo =
     match dims with
     | [| rows; cols |] when rows = cols ->
-        let obs = make_obs oo in
+        let params =
+          [ ("block", Diva_obs.Json.Int block);
+            ("compute", Diva_obs.Json.Bool compute) ]
+        in
+        let obs, events_oc =
+          make_obs oo ~app:"matmul" ~dims ~strategy:(Runner.name strategy)
+            ~seed ~params
+        in
         let on_net, faults = capture_faults heatmap in
         let m =
           Runner.run_matmul ~seed ~obs ~on_net ~rows ~cols ~block ~compute
@@ -354,11 +408,8 @@ let matmul_cmd =
           (Runner.name strategy);
         print_measurements m;
         print_faults !faults;
-        write_artifacts oo obs ~app:"matmul" ~dims
-          ~strategy:(Runner.name strategy) ~seed
-          ~params:
-            [ ("block", Diva_obs.Json.Int block);
-              ("compute", Diva_obs.Json.Bool compute) ]
+        write_artifacts oo obs ~events_oc ~app:"matmul" ~dims
+          ~strategy:(Runner.name strategy) ~seed ~params
           ~measurements:(Runner.measurement_fields m @ fault_json !faults)
     | _ -> failwith "matmul needs a square 2-D mesh"
   in
@@ -372,7 +423,11 @@ let bitonic_cmd =
     Arg.(value & opt int 4096 & info [ "keys" ] ~doc:"Keys per processor.")
   in
   let run dims strategy keys seed heatmap oo =
-    let obs = make_obs oo in
+    let params = [ ("keys", Diva_obs.Json.Int keys) ] in
+    let obs, events_oc =
+      make_obs oo ~app:"bitonic" ~dims ~strategy:(Runner.name strategy) ~seed
+        ~params
+    in
     let on_net, faults = capture_faults heatmap in
     let m = Runner.run_bitonic_nd ~seed ~obs ~on_net ~dims ~keys strategy in
     Printf.printf "bitonic %s, %d keys/proc, strategy %s\n"
@@ -380,9 +435,8 @@ let bitonic_cmd =
       keys (Runner.name strategy);
     print_measurements m;
     print_faults !faults;
-    write_artifacts oo obs ~app:"bitonic" ~dims ~strategy:(Runner.name strategy)
-      ~seed
-      ~params:[ ("keys", Diva_obs.Json.Int keys) ]
+    write_artifacts oo obs ~events_oc ~app:"bitonic" ~dims
+      ~strategy:(Runner.name strategy) ~seed ~params
       ~measurements:(Runner.measurement_fields m @ fault_json !faults)
   in
   Cmd.v (Cmd.info "bitonic" ~doc:"Bitonic sorting (paper 3.2)")
@@ -411,7 +465,15 @@ let nbody_cmd =
       { (Barnes_hut.default_config ~nbodies:bodies) with
         Barnes_hut.steps; theta }
     in
-    let obs = make_obs oo in
+    let params =
+      [ ("bodies", Diva_obs.Json.Int bodies);
+        ("steps", Diva_obs.Json.Int steps);
+        ("theta", Diva_obs.Json.Float theta) ]
+    in
+    let obs, events_oc =
+      make_obs oo ~app:"barnes-hut" ~dims
+        ~strategy:(Dsm.strategy_name strategy) ~seed ~params
+    in
     let on_net, faults = capture_faults heatmap in
     let r = Runner.run_barnes_hut_nd ~seed ~obs ~on_net ~dims ~cfg strategy in
     Printf.printf "barnes-hut %s, %d bodies, theta %.2f, strategy %s\n"
@@ -428,12 +490,8 @@ let nbody_cmd =
           print_measurements (r.Runner.bh_phase ph))
         [ Barnes_hut.Build; Barnes_hut.Com; Barnes_hut.Partition;
           Barnes_hut.Force; Barnes_hut.Advance; Barnes_hut.Space ];
-    write_artifacts oo obs ~app:"barnes-hut" ~dims
-      ~strategy:(Dsm.strategy_name strategy) ~seed
-      ~params:
-        [ ("bodies", Diva_obs.Json.Int bodies);
-          ("steps", Diva_obs.Json.Int steps);
-          ("theta", Diva_obs.Json.Float theta) ]
+    write_artifacts oo obs ~events_oc ~app:"barnes-hut" ~dims
+      ~strategy:(Dsm.strategy_name strategy) ~seed ~params
       ~measurements:
         (Runner.measurement_fields r.Runner.bh_total @ fault_json !faults)
   in
@@ -487,6 +545,54 @@ let analyze_cmd =
              replayed against the chosen strategy instead of running an \
              app inline.")
   in
+  (* Existence and header (format + version) are validated at argument-parse
+     time, like the workload command's --replay. *)
+  let offline_conv =
+    let parse s =
+      match Diva_obs.Streaming.probe s with
+      | Ok () -> Ok s
+      | Error e -> Error (`Msg e)
+    in
+    Arg.conv (parse, fun ppf s -> Format.fprintf ppf "%s" s)
+  in
+  let offline =
+    Arg.(
+      value
+      & opt (some offline_conv) None
+      & info [ "offline" ] ~docv:"FILE"
+          ~doc:
+            "Post-mortem a saved event trace (produced by $(b,--events)) \
+             without re-simulating: the report is bit-identical to the one \
+             the live run would have produced. $(b,--mesh), $(b,--strategy) \
+             and $(b,--seed) are ignored; the trace header has them.")
+  in
+  (* --replay re-simulates, --offline must not simulate at all: combining
+     them is a contradiction, rejected at parse time like any bad flag. *)
+  let input_t =
+    let combine replay offline =
+      match (replay, offline) with
+      | Some _, Some _ ->
+          Error
+            (`Msg
+               "--replay and --offline cannot be combined: --replay \
+                re-simulates a recorded DSM access trace under the chosen \
+                strategy, --offline post-processes a saved event trace \
+                without simulating anything. Pick one.")
+      | Some p, None -> Ok (`Replay p)
+      | None, Some p -> Ok (`Offline p)
+      | None, None -> Ok `Inline
+    in
+    Term.(term_result ~usage:true (const combine $ replay $ offline))
+  in
+  let events =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Also record the analyzed run's event stream as a JSONL trace \
+             for later $(b,--offline) post-mortems.")
+  in
   let top =
     Arg.(
       value & opt int 10
@@ -513,102 +619,184 @@ let analyze_cmd =
             "Print a per-node traffic heatmap for each time window \
              (time-lapse of where the congestion sits).")
   in
-  let run dims strategy app block keys bodies steps replay top wins json_out
-      snapshots seed =
-    let trace = Diva_obs.Trace.create () in
-    let obs =
-      { Runner.obs_trace = trace; obs_metrics = None;
-        obs_sample_interval = 1000.0; obs_faults = Fault_schedule.empty }
-    in
-    let captured = ref None in
-    let on_net net = captured := Some net in
-    let app_name, params =
-      match replay with
-      | Some path ->
-          let tr =
-            match Workload.Dsm_trace.read path with
-            | Ok t -> t
-            | Error e -> failwith e
-          in
-          let strategy = require_dsm_strategy strategy in
-          ignore
-            (Workload.Replay.run ~obs ~on_net ~seed
-               ~mode:Workload.Replay.Closed_loop ~strategy tr);
-          ("replay", [ ("replay", Diva_obs.Json.String path) ])
-      | None -> (
-          match app with
-          | `Matmul -> (
-              match dims with
-              | [| rows; cols |] when rows = cols ->
-                  ignore
-                    (Runner.run_matmul ~seed ~obs ~on_net ~rows ~cols ~block
-                       strategy);
-                  ("matmul", [ ("block", Diva_obs.Json.Int block) ])
-              | _ -> failwith "matmul needs a square 2-D mesh")
-          | `Bitonic ->
-              ignore (Runner.run_bitonic_nd ~seed ~obs ~on_net ~dims ~keys strategy);
-              ("bitonic", [ ("keys", Diva_obs.Json.Int keys) ])
-          | `Nbody ->
-              let s = require_dsm_strategy strategy in
-              let cfg =
-                { (Barnes_hut.default_config ~nbodies:bodies) with
-                  Barnes_hut.steps }
+  let mesh_str dims =
+    String.concat "x" (List.map string_of_int (Array.to_list dims))
+  in
+  let analysis_meta ~app ~dims ~strategy ~seed ~params =
+    [ ("app", Diva_obs.Json.String app);
+      ("dims",
+       Diva_obs.Json.List
+         (List.map (fun d -> Diva_obs.Json.Int d) (Array.to_list dims)));
+      ("strategy", Diva_obs.Json.String strategy);
+      ("seed", Diva_obs.Json.Int seed) ]
+    @ params
+  in
+  let write_analysis_json path meta summary =
+    try
+      Diva_obs.Json.to_file path
+        (Diva_obs.Analysis.summary_to_json ~meta summary);
+      Printf.printf "\nanalysis -> %s\n" path
+    with Sys_error e ->
+      Printf.eprintf "divasim: %s\n" e;
+      exit 1
+  in
+  let render_snapshots mesh windows =
+    List.iter
+      (fun w ->
+        print_newline ();
+        print_string
+          (Diva_harness.Heatmap.render_grid mesh
+             ~label:
+               (Printf.sprintf "window %.0f-%.0f us"
+                  w.Diva_obs.Analysis.w_start w.Diva_obs.Analysis.w_finish)
+             (Diva_harness.Heatmap.nodes_of_link_values mesh
+                w.Diva_obs.Analysis.w_link_bytes)))
+      windows
+  in
+  let run dims strategy app block keys bodies steps input events top wins
+      json_out snapshots seed =
+    match input with
+    | `Offline path -> (
+        (match events with
+        | Some _ ->
+            Printf.eprintf
+              "divasim: --events records a live run; --offline already has \
+               one\n";
+            exit 1
+        | None -> ());
+        match
+          Diva_obs.Streaming.analyze_file ~top_k:top ~num_windows:wins path
+        with
+        | Error e ->
+            Printf.eprintf "divasim: %s\n" e;
+            exit 1
+        | Ok (h, summary, peak) ->
+            Printf.printf "analyze %s, %s mesh, strategy %s, seed %d\n"
+              h.Diva_obs.Streaming.h_app
+              (mesh_str h.Diva_obs.Streaming.h_dims)
+              h.Diva_obs.Streaming.h_strategy h.Diva_obs.Streaming.h_seed;
+            Printf.printf
+              "offline: %s (%s v%d), peak residency %d message records\n\n"
+              path Diva_obs.Streaming.format_name
+              h.Diva_obs.Streaming.h_version peak;
+            print_string (Diva_obs.Analysis.render_summary summary);
+            if snapshots then
+              render_snapshots
+                (Diva_mesh.Mesh.create_nd ~dims:h.Diva_obs.Streaming.h_dims)
+                summary.Diva_obs.Analysis.sm_windows;
+            (match json_out with
+            | Some jpath ->
+                write_analysis_json jpath
+                  (analysis_meta ~app:h.Diva_obs.Streaming.h_app
+                     ~dims:h.Diva_obs.Streaming.h_dims
+                     ~strategy:h.Diva_obs.Streaming.h_strategy
+                     ~seed:h.Diva_obs.Streaming.h_seed
+                     ~params:h.Diva_obs.Streaming.h_params)
+                  summary
+            | None -> ()))
+    | (`Replay _ | `Inline) as input ->
+        (* App, mesh and parameters are resolved before the run so the
+           --events trace header can be written up front. *)
+        let app_name, dims, params, go =
+          match input with
+          | `Replay path ->
+              let tr =
+                match Workload.Dsm_trace.read path with
+                | Ok t -> t
+                | Error e -> failwith e
               in
-              ignore (Runner.run_barnes_hut_nd ~seed ~obs ~on_net ~dims ~cfg s);
-              ( "barnes-hut",
-                [ ("bodies", Diva_obs.Json.Int bodies);
-                  ("steps", Diva_obs.Json.Int steps) ] ))
-    in
-    let net =
-      match !captured with
-      | Some n -> n
-      | None -> failwith "internal error: the run never reached the network"
-    in
-    let m = Network.machine net in
-    let ov =
-      { Diva_obs.Analysis.send_overhead = m.Diva_simnet.Machine.send_overhead;
-        recv_overhead = m.Diva_simnet.Machine.recv_overhead;
-        local_overhead = m.Diva_simnet.Machine.local_overhead }
-    in
-    let spans = Diva_obs.Spans.build (Diva_obs.Trace.events trace) in
-    Printf.printf "analyze %s, %s mesh, strategy %s, seed %d\n\n" app_name
-      (String.concat "x" (List.map string_of_int (Array.to_list dims)))
-      (Runner.name strategy) seed;
-    print_string (Diva_obs.Analysis.render ~top_k:top ov spans);
-    if snapshots then begin
-      let mesh = Network.mesh net in
-      List.iter
-        (fun w ->
-          print_newline ();
-          print_string
-            (Diva_harness.Heatmap.render_grid mesh
-               ~label:
-                 (Printf.sprintf "window %.0f-%.0f us"
-                    w.Diva_obs.Analysis.w_start w.Diva_obs.Analysis.w_finish)
-               (Diva_harness.Heatmap.nodes_of_link_values mesh
-                  w.Diva_obs.Analysis.w_link_bytes)))
-        (Diva_obs.Analysis.windows ~n:wins spans)
-    end;
-    match json_out with
-    | Some path -> (
-        let meta =
-          [ ("app", Diva_obs.Json.String app_name);
-            ("dims",
-             Diva_obs.Json.List
-               (List.map (fun d -> Diva_obs.Json.Int d) (Array.to_list dims)));
-            ("strategy", Diva_obs.Json.String (Runner.name strategy));
-            ("seed", Diva_obs.Json.Int seed) ]
-          @ params
+              let s = require_dsm_strategy strategy in
+              ( "replay",
+                tr.Workload.Dsm_trace.dims,
+                [ ("replay", Diva_obs.Json.String path) ],
+                fun obs on_net ->
+                  ignore
+                    (Workload.Replay.run ~obs ~on_net ~seed
+                       ~mode:Workload.Replay.Closed_loop ~strategy:s tr) )
+          | `Inline -> (
+              match app with
+              | `Matmul -> (
+                  match dims with
+                  | [| rows; cols |] when rows = cols ->
+                      ( "matmul",
+                        dims,
+                        [ ("block", Diva_obs.Json.Int block) ],
+                        fun obs on_net ->
+                          ignore
+                            (Runner.run_matmul ~seed ~obs ~on_net ~rows ~cols
+                               ~block strategy) )
+                  | _ -> failwith "matmul needs a square 2-D mesh")
+              | `Bitonic ->
+                  ( "bitonic",
+                    dims,
+                    [ ("keys", Diva_obs.Json.Int keys) ],
+                    fun obs on_net ->
+                      ignore
+                        (Runner.run_bitonic_nd ~seed ~obs ~on_net ~dims ~keys
+                           strategy) )
+              | `Nbody ->
+                  let s = require_dsm_strategy strategy in
+                  let cfg =
+                    { (Barnes_hut.default_config ~nbodies:bodies) with
+                      Barnes_hut.steps }
+                  in
+                  ( "barnes-hut",
+                    dims,
+                    [ ("bodies", Diva_obs.Json.Int bodies);
+                      ("steps", Diva_obs.Json.Int steps) ],
+                    fun obs on_net ->
+                      ignore
+                        (Runner.run_barnes_hut_nd ~seed ~obs ~on_net ~dims ~cfg
+                           s) ))
         in
-        try
-          Diva_obs.Json.to_file path
-            (Diva_obs.Analysis.to_json ~meta ~top_k:top ~num_windows:wins ov
-               spans);
-          Printf.printf "\nanalysis -> %s\n" path
-        with Sys_error e ->
-          Printf.eprintf "divasim: %s\n" e;
-          exit 1)
-    | None -> ()
+        let trace, events_oc =
+          match events with
+          | None -> (Diva_obs.Trace.create (), None)
+          | Some epath ->
+              let oc = open_out epath in
+              Diva_obs.Streaming.write_header oc
+                (Diva_obs.Streaming.make_header ~params ~app:app_name ~dims
+                   ~strategy:(Runner.name strategy) ~seed
+                   ~overheads:(machine_overheads Diva_simnet.Machine.gcel) ());
+              ( Diva_obs.Trace.tee (fun e -> Diva_obs.Trace.write_event oc e),
+                Some oc )
+        in
+        let obs =
+          { Runner.obs_trace = trace; obs_metrics = None;
+            obs_sample_interval = 1000.0; obs_faults = Fault_schedule.empty }
+        in
+        let captured = ref None in
+        let on_net net = captured := Some net in
+        go obs on_net;
+        let net =
+          match !captured with
+          | Some n -> n
+          | None -> failwith "internal error: the run never reached the network"
+        in
+        let ov = machine_overheads (Network.machine net) in
+        let summary =
+          Diva_obs.Analysis.summarize ~top_k:top ~num_windows:wins ov
+            (Diva_obs.Trace.events trace)
+        in
+        Printf.printf "analyze %s, %s mesh, strategy %s, seed %d\n\n" app_name
+          (mesh_str dims) (Runner.name strategy) seed;
+        print_string (Diva_obs.Analysis.render_summary summary);
+        (match (events, events_oc) with
+        | Some epath, Some oc ->
+            close_out oc;
+            Printf.printf "\nevents   -> %s (%d events)\n" epath
+              (Diva_obs.Trace.count trace)
+        | _ -> ());
+        if snapshots then
+          render_snapshots (Network.mesh net)
+            summary.Diva_obs.Analysis.sm_windows;
+        (match json_out with
+        | Some jpath ->
+            write_analysis_json jpath
+              (analysis_meta ~app:app_name ~dims
+                 ~strategy:(Runner.name strategy) ~seed ~params)
+              summary
+        | None -> ())
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -626,10 +814,12 @@ let analyze_cmd =
               top-K congested directed links, and a per-operation latency and \
               cost table. $(b,--json) writes the same data machine-readably; \
               $(b,--snapshots) adds a time-lapse of per-node congestion \
-              heatmaps." ])
+              heatmaps. $(b,--events) saves the analyzed event stream; \
+              $(b,--offline) re-analyzes such a saved stream later — \
+              bit-identically — without re-simulating." ])
     Term.(
       const run $ mesh_t $ strategy_t $ app_t $ block $ keys $ bodies $ steps
-      $ replay $ top $ wins $ json_out $ snapshots $ seed_t)
+      $ input_t $ events $ top $ wins $ json_out $ snapshots $ seed_t)
 
 (* ------------------------------------------------------------------ *)
 (* Workload engine                                                     *)
@@ -861,7 +1051,6 @@ let workload_cmd =
     (match Workload.Spec.validate spec with
     | Ok () -> ()
     | Error e -> failwith e);
-    let obs = make_obs oo in
     if smoke then (
       let dims = [| 4; 4 |] in
       let spec =
@@ -885,6 +1074,11 @@ let workload_cmd =
             | Error e -> failwith e
           in
           let strategy = require_dsm_strategy strategy in
+          let obs, events_oc =
+            make_obs oo ~app:"workload-replay" ~dims:tr.Workload.Dsm_trace.dims
+              ~strategy:(Dsm.strategy_name strategy) ~seed
+              ~params:[ ("replay", Diva_obs.Json.String path) ]
+          in
           let on_net, faults = capture_faults heatmap in
           let r =
             Workload.Replay.run ~obs ~on_net ~seed ~mode:replay_mode ~strategy
@@ -899,7 +1093,7 @@ let workload_cmd =
           print_measurements r.Workload.Generator.measurements;
           print_faults !faults;
           print_string (Workload.Latency.render r.Workload.Generator.latency);
-          write_artifacts oo obs ~app:"workload-replay"
+          write_artifacts oo obs ~events_oc ~app:"workload-replay"
             ~dims:tr.Workload.Dsm_trace.dims ~strategy:(Dsm.strategy_name strategy)
             ~seed
             ~params:[ ("replay", Diva_obs.Json.String path) ]
@@ -909,6 +1103,11 @@ let workload_cmd =
               @ fault_json !faults)
       | None ->
           let strategy = require_dsm_strategy strategy in
+          let obs, events_oc =
+            make_obs oo ~app:"workload" ~dims
+              ~strategy:(Dsm.strategy_name strategy) ~seed
+              ~params:(Workload.Spec.to_params spec)
+          in
           let on_net, faults = capture_faults heatmap in
           let r = Workload.Generator.run ~obs ~on_net ~dims ~strategy spec in
           Printf.printf "workload %s, strategy %s, %s popularity, %s locality\n"
@@ -919,7 +1118,7 @@ let workload_cmd =
           print_measurements r.Workload.Generator.measurements;
           print_faults !faults;
           print_string (Workload.Latency.render r.Workload.Generator.latency);
-          write_artifacts oo obs ~app:"workload" ~dims
+          write_artifacts oo obs ~events_oc ~app:"workload" ~dims
             ~strategy:(Dsm.strategy_name strategy) ~seed
             ~params:(Workload.Spec.to_params spec)
             ~measurements:

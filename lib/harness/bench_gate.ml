@@ -147,6 +147,74 @@ let compare_docs ?(tolerances = default_tolerances) ~baseline ~current () =
 
 let failures vs = List.filter (fun v -> is_failure v.v_status) vs
 
+(* ------------------------------------------------------------------ *)
+(* Per-commit history ring                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A single committed baseline only sees one PR of movement: N successive
+   +8% regressions each pass a 10% tolerance while compounding to far more.
+   The ring keeps the last [keep] bench documents (files sort by their
+   zero-padded sequence number), and [drift] compares the current run
+   against the OLDEST surviving entry under the same per-metric tolerances
+   — a slow leak has [keep] PRs of compounding to get caught in. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let history_entries dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+    |> List.filter_map (fun f ->
+           match Json.of_string (read_file (Filename.concat dir f)) with
+           | Ok doc -> Some (f, doc)
+           | Error _ -> None)
+
+let drift ?tolerances ~dir ~current () =
+  match history_entries dir with
+  | [] -> None
+  | (name, oldest) :: _ ->
+      Some (name, compare_docs ?tolerances ~baseline:oldest ~current ())
+
+let seq_of_name f =
+  match String.index_opt f '-' with
+  | Some i -> (
+      match int_of_string_opt (String.sub f 0 i) with
+      | Some n -> n
+      | None -> 0)
+  | None -> 0
+
+let history_append ?(keep = 10) ~dir ~label current =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let names () =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  let next = List.fold_left (fun m f -> max m (seq_of_name f)) 0 (names ()) + 1 in
+  let label =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' -> c
+        | _ -> '-')
+      (if label = "" then "run" else label)
+  in
+  let name = Printf.sprintf "%04d-%s.json" next label in
+  Json.to_file (Filename.concat dir name) current;
+  let all = names () in
+  let excess = List.length all - keep in
+  if excess > 0 then
+    List.iteri
+      (fun i f -> if i < excess then Sys.remove (Filename.concat dir f))
+      all;
+  name
+
 let render vs =
   let b = Buffer.create 1024 in
   let count s = List.length (List.filter (fun v -> v.v_status = s) vs) in

@@ -27,6 +27,35 @@ val total_cost : cost -> float
 
 val op_name : Trace.dsm_op -> string
 
+(** Strategy-neutral view of one completing-chain message, detached from
+    where the records live (full {!Spans} tables or a streaming analyzer's
+    retained prefix). *)
+type chain_link = {
+  cl_local : bool;
+  cl_inject : float;
+  cl_handled : float option;
+  cl_xfers : (float * float) list;  (** (start, finish), arrival order *)
+}
+
+val chain_link_of_msg : Spans.msg -> chain_link
+
+val decompose_chain :
+  overheads -> t0:float -> dur:float -> chain_link list -> cost
+(** Core of {!decompose}: sweep the chain's labeled segments over the
+    blocking window [\[t0, t0 +. dur\]]. Clipping makes the result
+    insensitive to link crossings emitted after the completion event, so a
+    streaming analyzer that retires transactions eagerly computes the same
+    cost bit for bit. *)
+
+val side_cost : overheads -> Spans.side -> cost
+(** Attribution of one side-branch message (e.g. an invalidation fan-out
+    hop the write triggered but did not block on) from its at-completion
+    snapshot: overheads as startup, link occupancy as transfer, local
+    handler cost as cpu, issue-to-injection dead time as queue. *)
+
+val sides_cost : overheads -> Spans.side list -> cost
+(** [side_cost] summed in list order. *)
+
 val decompose : overheads -> Spans.t -> Spans.txn -> cost
 (** Decompose one transaction's blocking latency along its completing
     causal chain ({!Spans.chain}). Every term is non-negative (up to float
@@ -94,12 +123,98 @@ type op_row = {
   or_mean_us : float;
   or_max_us : float;
   or_cost : cost;  (** summed decomposition over all of them *)
+  or_side_msgs : int;  (** side-branch messages (invalidation fan-out &c.) *)
+  or_side_cost : cost;  (** summed side-branch attribution *)
 }
 
 val op_table : overheads -> Spans.t -> op_row list
 (** Latency and summed cost decomposition per operation type (miss path
     only — hits never enter the protocol). Ops with no transactions are
     omitted. *)
+
+(** {2 Canonical event folds (shared by batch and streaming)} *)
+
+val end_time_events : Trace.event list -> float
+(** End of network activity folded from the events themselves: last link
+    release (acks excluded), last handler run, last local handler. Unlike
+    the span-based {!windows} basis this sees every delivery of a
+    retransmitted message, so batch and streaming agree by construction. *)
+
+(** Incremental per-window per-link byte attribution (the math of
+    {!windows} as a fold). Window boundaries need the run's end time up
+    front, so streaming drives it as a second pass over the saved trace. *)
+module Windows_fold : sig
+  type t
+
+  val create : n:int -> t_end:float -> t
+  (** Inert (produces no rows) when [n <= 0] or [t_end <= 0.]. *)
+
+  val feed : t -> Trace.event -> unit
+  val rows : t -> window list
+end
+
+(** Accumulator for the per-operation table and whole-run critical path,
+    fed one completed transaction at a time in completion (= stream
+    emission) order. Batch ({!summarize}) and streaming ({!Streaming})
+    both drive it, so their float sums see identical operand order. *)
+module Txn_fold : sig
+  type t
+
+  val create : unit -> t
+
+  val feed :
+    t ->
+    node:int ->
+    op:Trace.dsm_op ->
+    t_start:float ->
+    dur:float ->
+    chain_cost:cost ->
+    side_msgs:int ->
+    side_cost:cost ->
+    unit
+
+  val num_txns : t -> int
+  val op_rows : t -> op_row list
+
+  val critical : t -> (int * float * int * cost) option
+  (** [(node, end, txns, cost)] of the last-finishing processor (first
+      strict maximum in feed order); [None] before any feed. *)
+end
+
+val link_rows_events : Trace.event list -> link_row list
+(** Per-link totals folded in event-emission order (the order batch and
+    streaming share); ack crossings ([msg = -1]) excluded. Unordered. *)
+
+val sort_top_links : k:int -> link_row list -> link_row list
+(** Descending bytes, ties by ascending link id, truncated to [k]. *)
+
+(** {2 Run summary} *)
+
+type critical_summary = {
+  sc_node : int;
+  sc_end : float;
+  sc_txns : int;
+  sc_cost : cost;
+}
+
+(** Everything [divasim analyze] reports, as one value. Produced
+    identically — bit for bit, floats included — by batch {!summarize}
+    and by the bounded-memory {!Streaming} analyzer. *)
+type summary = {
+  sm_num_txns : int;
+  sm_num_msgs : int;
+  sm_end_us : float;  (** {!end_time_events}: the windows' time basis *)
+  sm_critical : critical_summary option;
+  sm_levels : level_row list;
+  sm_top_links : link_row list;
+  sm_windows : window list;
+  sm_ops : op_row list;
+}
+
+val summarize :
+  ?top_k:int -> ?num_windows:int -> overheads -> Trace.event list -> summary
+(** The canonical batch analysis: full span tables in memory, folded in
+    the canonical orders above. *)
 
 val cost_json : cost -> Json.t
 
@@ -114,7 +229,14 @@ val to_json :
     path, level profile, top links, windowed link traffic and the
     per-operation table. [meta] entries are prepended to the object. *)
 
+val summary_to_json : ?meta:(string * Json.t) list -> summary -> Json.t
+(** The machine-readable [analysis.json] payload. [meta] entries are
+    prepended to the object. *)
+
 val render_cost : cost -> string
 
 val render : ?top_k:int -> overheads -> Spans.t -> string
+(** Human-readable report over span tables (legacy batch path). *)
+
+val render_summary : summary -> string
 (** Human-readable report (the [divasim analyze] stdout). *)

@@ -60,7 +60,7 @@ let of_event ~net_pid = function
         ~cat:"net" ~ts ~pid:dst ~tid:tid_msgs
         [ ("id", Int id); ("txn", Int txn); ("handled", Float handled);
           ("src", Int src); ("size", Int size) ]
-  | Trace.Link_xfer { start; finish; link; msg; txn; src; dst; size } ->
+  | Trace.Link_xfer { start; finish; link; msg; txn; level = _; src; dst; size } ->
       span
         ~name:(Printf.sprintf "%d -> %d" src dst)
         ~cat:"link" ~ts:start ~dur:(finish -. start) ~pid:net_pid ~tid:link

@@ -22,13 +22,21 @@ let escape b s =
     s
 
 (* Integral floats print without an exponent (Chrome's trace viewer rejects
-   timestamps like [1e+06] in some versions); everything else keeps enough
-   digits to round-trip the interesting range. *)
+   timestamps like [1e+06] in some versions); everything else uses the
+   shortest %g precision in {15,16,17} that parses back to the same double,
+   so writing and re-reading a trace is lossless (the offline analyzer
+   depends on this for bit-identical reports). *)
 let float_repr f =
   if not (Float.is_finite f) then "null"
+  else if f = 0.0 then "0" (* covers -0.0: one canonical spelling *)
   else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.0f" f
-  else Printf.sprintf "%.12g" f
+  else
+    let s15 = Printf.sprintf "%.15g" f in
+    if float_of_string s15 = f then s15
+    else
+      let s16 = Printf.sprintf "%.16g" f in
+      if float_of_string s16 = f then s16 else Printf.sprintf "%.17g" f
 
 let rec to_buffer b = function
   | Null -> Buffer.add_string b "null"

@@ -32,7 +32,28 @@ type txn = {
   t_completed_by : int;
 }
 
-type t = { by_id : (int, msg) Hashtbl.t; txn_list : txn list }
+(* Snapshot of a side-branch message (e.g. invalidation fan-out) as it
+   looked when its transaction's completion event passed in the stream:
+   deliveries and link crossings that had not yet been emitted are absent.
+   This at-completion view — not the final record — is the canonical one,
+   because a bounded-memory streaming analyzer retires the transaction at
+   that point (see Streaming); taking the same cut here keeps batch and
+   streaming attribution bit-identical. *)
+type side = {
+  s_id : int;
+  s_local : bool;
+  s_sent : float;
+  s_inject : float;
+  s_handled : float option;
+  s_xfer_us : float;  (* summed link occupancy emitted by completion *)
+}
+
+type t = {
+  by_id : (int, msg) Hashtbl.t;
+  txn_list : txn list;  (* ascending id *)
+  txn_seq : txn list;  (* emission (= completion) order *)
+  sides_tbl : (int, side list) Hashtbl.t;  (* txn id -> ascending msg id *)
+}
 
 (* Mutable build-time accumulator, frozen into [msg] at the end. *)
 type acc = {
@@ -52,14 +73,48 @@ type acc = {
   mutable a_losses : int;
 }
 
+(* Walk the parent chain of [completed_by] backwards through the build-time
+   accumulators while still inside [txn_id]; same guards as {!chain}. *)
+let chain_ids accs txn_id completed_by =
+  let rec go acc prev id =
+    if id < 0 || id >= prev then acc
+    else
+      match Hashtbl.find_opt accs id with
+      | Some a when a.a_txn = txn_id -> go (id :: acc) id a.a_parent
+      | _ -> acc
+  in
+  go [] max_int completed_by
+
+let side_of_acc id (a : acc) =
+  {
+    s_id = id;
+    s_local = a.a_local;
+    s_sent = a.a_sent;
+    s_inject = a.a_inject;
+    s_handled = a.a_handled;
+    s_xfer_us =
+      List.fold_left
+        (fun acc (_, s, f) -> acc +. (f -. s))
+        0.0 (List.rev a.a_xfers);
+  }
+
 let build events =
   let accs : (int, acc) Hashtbl.t = Hashtbl.create 1024 in
   let txns = ref [] in
+  (* Per-transaction message ids (prepended, so reversed = ascending id)
+     and the at-completion side snapshots. *)
+  let txn_index : (int, int list ref) Hashtbl.t = Hashtbl.create 256 in
+  let sides_tbl : (int, side list) Hashtbl.t = Hashtbl.create 256 in
   List.iter
     (fun e ->
       match e with
       | Trace.Msg_send
           { ts; id; parent; txn; inject; level; src; dst; size; local } ->
+          if txn >= 0 then begin
+            match Hashtbl.find_opt txn_index txn with
+            | Some ids -> ids := id :: !ids
+            | None -> Hashtbl.add txn_index txn (ref [ id ])
+          end;
           Hashtbl.replace accs id
             {
               a_parent = parent;
@@ -115,7 +170,28 @@ let build events =
               t_dur = dur;
               t_completed_by = completed_by;
             }
-            :: !txns
+            :: !txns;
+          (* Side branches: the transaction's messages that are not on the
+             completing chain, snapshotted as of this point in the stream.
+             Sends emitted after completion (possible for a write's
+             trailing invalidations) are deliberately excluded — a
+             bounded-memory analyzer has already retired the transaction. *)
+          let chain = chain_ids accs txn completed_by in
+          let ids =
+            match Hashtbl.find_opt txn_index txn with
+            | Some ids -> List.rev !ids
+            | None -> []
+          in
+          Hashtbl.remove txn_index txn;
+          let sides =
+            List.filter_map
+              (fun id ->
+                if List.mem id chain then None
+                else
+                  Option.map (side_of_acc id) (Hashtbl.find_opt accs id))
+              ids
+          in
+          if sides <> [] then Hashtbl.replace sides_tbl txn sides
       | _ -> ())
     events;
   let by_id = Hashtbl.create (Hashtbl.length accs) in
@@ -140,13 +216,17 @@ let build events =
           losses = a.a_losses;
         })
     accs;
-  let txn_list =
-    List.sort (fun a b -> compare a.t_id b.t_id) (List.rev !txns)
-  in
-  { by_id; txn_list }
+  let txn_seq = List.rev !txns in
+  let txn_list = List.sort (fun a b -> compare a.t_id b.t_id) txn_seq in
+  { by_id; txn_list; txn_seq; sides_tbl }
 
 let msg t id = Hashtbl.find_opt t.by_id id
 let txns t = t.txn_list
+let txns_completed t = t.txn_seq
+
+let sides t (txn : txn) =
+  Option.value ~default:[] (Hashtbl.find_opt t.sides_tbl txn.t_id)
+
 let num_msgs t = Hashtbl.length t.by_id
 
 let msgs t =

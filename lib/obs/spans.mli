@@ -42,12 +42,28 @@ type txn = {
   t_completed_by : int;  (** id of the message that unblocked the fiber *)
 }
 
+(** Snapshot of a side-branch message (a transaction message off the
+    completing chain, e.g. invalidation fan-out) as of the moment the
+    transaction's completion event passed in the stream: deliveries and
+    link crossings emitted later are absent. The at-completion cut — not
+    the final record — is canonical, so batch attribution stays
+    bit-identical to the bounded-memory {!Streaming} analyzer, which has
+    retired the transaction by then. *)
+type side = {
+  s_id : int;
+  s_local : bool;
+  s_sent : float;  (** issue time *)
+  s_inject : float;  (** network injection (local: handler time) *)
+  s_handled : float option;  (** [None] if still in flight at completion *)
+  s_xfer_us : float;  (** summed link occupancy emitted by completion *)
+}
+
 type t
 
 val build : Trace.event list -> t
 (** Single pass over the event stream. Under faults, retransmission
-    duplicates keep the first delivery; ack traffic (ids without a
-    [Msg_send]) is dropped. *)
+    duplicates keep the first delivery; ack traffic ([msg = -1]) is
+    dropped. *)
 
 val msg : t -> int -> msg option
 val msgs : t -> msg list
@@ -57,6 +73,16 @@ val num_msgs : t -> int
 
 val txns : t -> txn list
 (** All transactions, ascending id. *)
+
+val txns_completed : t -> txn list
+(** All transactions in stream-emission order. [Dsm_access] events are
+    emitted at completion time, so this is completion order — the order a
+    streaming analyzer retires them in, and the canonical fold order for
+    float-sum reproducibility. *)
+
+val sides : t -> txn -> side list
+(** The transaction's side-branch snapshots (messages sent before its
+    completion event and not on the completing chain), ascending id. *)
 
 val msgs_of_txn : t -> int -> msg list
 (** Every message tagged with the transaction (the full span tree,

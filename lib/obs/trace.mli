@@ -71,8 +71,15 @@ type event =
       start : float;
       finish : float;
       link : int;
-      msg : int;  (** id of the {!Msg_send} occupying the link *)
+      msg : int;
+          (** id of the {!Msg_send} occupying the link; [-1] for acks
+              (which have no send of their own) *)
       txn : int;
+      level : int;
+          (** access-tree level tag of the originating send (see
+              {!Msg_send}); retransmissions keep the original's level.
+              Makes per-level traffic folds self-contained in the event
+              stream. *)
       src : int;
       dst : int;
       size : int;
@@ -174,14 +181,46 @@ val null : sink
 val create : unit -> sink
 (** A fresh enabled sink with an empty buffer. *)
 
+val stream : (event -> unit) -> sink
+(** An enabled sink that forwards every event to the callback instead of
+    buffering: {!events} returns [[]], memory stays O(1) no matter how
+    long the run. The backbone of streaming analysis and on-disk trace
+    recording (see {!Streaming}). *)
+
+val tee : (event -> unit) -> sink
+(** Buffer like {!create} and also forward to the callback — for writing
+    a trace file while keeping the in-memory batch path available. *)
+
 val enabled : sink -> bool
 (** Instrumentation sites test this before constructing an event. *)
 
 val emit : sink -> event -> unit
-(** Append; ignored on a disabled sink. Events may be appended out of
-    timestamp order (a send emits its delivery event eagerly); exporters
-    sort. *)
+(** Append and/or forward; ignored on a disabled sink. Events may be
+    emitted out of timestamp order (a send emits its delivery event
+    eagerly); exporters sort. Emission-order sim-time is nondecreasing —
+    analyzers rely on this (e.g. [Dsm_access] events arrive in completion
+    order). *)
 
 val count : sink -> int
+(** Events emitted so far (buffered or streamed). *)
+
 val events : sink -> event list
-(** Events in emission order. *)
+(** Buffered events in emission order; [[]] for {!stream} sinks. *)
+
+(** {2 JSONL event codec}
+
+    One compact JSON object per event, discriminated by the ["e"] tag,
+    with a fixed field order so the writer is byte-stable. The reader and
+    the versioned file header live in {!Streaming}. *)
+
+val op_code : dsm_op -> string
+val op_of_code : string -> dsm_op option
+val drop_code : drop_reason -> string
+val drop_of_code : string -> drop_reason option
+val loss_code : loss_reason -> string
+val loss_of_code : string -> loss_reason option
+
+val event_to_json : event -> Json.t
+
+val write_event : out_channel -> event -> unit
+(** Write one event as a single JSON line. *)

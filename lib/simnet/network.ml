@@ -23,6 +23,7 @@ type payload += Env of { seq : int; inner : payload } | Ack of { seq : int }
 type pend = {
   p_id : int;  (* causal message id; retransmissions keep it *)
   p_txn : int;
+  p_level : int;  (* access-tree level tag of the original send *)
   p_src : Mesh.node;
   p_dst : Mesh.node;
   p_size : int;
@@ -252,10 +253,11 @@ and dispatch t msg =
           end
       | Env { seq; inner } ->
           (* Always (re-)acknowledge — the previous ack may have been lost —
-             but hand only the first copy to the handler. The ack gets a
-             fresh id and inherits the envelope's transaction. *)
+             but hand only the first copy to the handler. Acks have no
+             [Msg_send] of their own, so they carry id [-1] (the sentinel
+             analyzers filter on) and inherit the envelope's transaction. *)
           ignore
-            (transmit t rel ~id:(fresh_msg_id t) ~txn:t.cur_txn
+            (transmit t rel ~id:(-1) ~txn:t.cur_txn ~level:(-1)
                { m_src = msg.m_dst; m_dst = msg.m_src;
                  m_size = Faults.ack_size; m_payload = Ack { seq } }
               : float * float);
@@ -273,8 +275,12 @@ and dispatch t msg =
    armed from when the attempt actually resolved rather than when it was
    injected (a message queued behind congested links must not be
    retransmitted while still in flight: that feedback loop melts the
-   network). Returns [(inject_at, outcome)]. *)
-and transmit t rel ~id ~txn msg =
+   network). Returns [(inject_at, outcome)].
+
+   [?inject] lets the caller reserve the sender's CPU (and account the
+   startup) itself before calling, so it can emit the [Msg_send] event
+   ahead of the attempt's link crossings. *)
+and transmit ?inject t rel ~id ~txn ~level msg =
   let f = rel.rl_faults in
   let src = msg.m_src and dst = msg.m_dst and size = msg.m_size in
   (* Acks are modelled as hardware-level control messages: they occupy
@@ -285,12 +291,15 @@ and transmit t rel ~id ~txn msg =
      retransmission spiral. *)
   let is_ack = match msg.m_payload with Ack _ -> true | _ -> false in
   let inject_at =
-    if is_ack then Faults.defer f ~node:src (now t)
-    else begin
-      t.startup_count <- t.startup_count + 1;
-      t.node_startup_count.(src) <- t.node_startup_count.(src) + 1;
-      reserve_cpu t src ~from:(now t) t.machine.Machine.send_overhead
-    end
+    match inject with
+    | Some at -> at
+    | None ->
+        if is_ack then Faults.defer f ~node:src (now t)
+        else begin
+          t.startup_count <- t.startup_count + 1;
+          t.node_startup_count.(src) <- t.node_startup_count.(src) + 1;
+          reserve_cpu t src ~from:(now t) t.machine.Machine.send_overhead
+        end
   in
   if Faults.draw_drop f ~now:inject_at then begin
     Faults.count_lost f Trace.Loss_random;
@@ -329,7 +338,7 @@ and transmit t rel ~id ~txn msg =
               Trace.emit t.trace
                 (Trace.Link_xfer
                    { start; finish = start +. occupancy; link; msg = id; txn;
-                     src; dst; size });
+                     level; src; dst; size });
             last_start := start;
             last_occupancy := occupancy;
             arrival := start +. t.machine.Machine.hop_latency
@@ -387,7 +396,7 @@ and retransmit t rel seq p =
          { ts = now t; msg = p.p_id; txn = p.p_txn; src = p.p_src;
            dst = p.p_dst; size = p.p_size; attempt = p.p_attempt });
   let _, outcome =
-    transmit t rel ~id:p.p_id ~txn:p.p_txn
+    transmit t rel ~id:p.p_id ~txn:p.p_txn ~level:p.p_level
       { m_src = p.p_src; m_dst = p.p_dst; m_size = p.p_size;
         m_payload = Env { seq; inner = p.p_inner } }
   in
@@ -416,19 +425,28 @@ let send t ~src ~dst ~size payload =
         let seq = rel.rl_next_seq in
         rel.rl_next_seq <- seq + 1;
         Faults.count_enveloped rel.rl_faults;
-        let p = { p_id = id; p_txn = txn; p_src = src; p_dst = dst;
-                  p_size = size; p_inner = payload; p_attempt = 0;
-                  p_last_tx = t0 } in
+        let p = { p_id = id; p_txn = txn; p_level = level; p_src = src;
+                  p_dst = dst; p_size = size; p_inner = payload;
+                  p_attempt = 0; p_last_tx = t0 } in
         Hashtbl.add rel.rl_pending seq p;
-        let inject_at, outcome =
-          transmit t rel ~id ~txn
-            { msg with m_payload = Env { seq; inner = payload } }
+        (* Reserve the CPU here so [Msg_send] can be emitted before the
+           first attempt: single-pass analyzers must see the message
+           record before its link crossings (and a same-instant delivery
+           or loss). *)
+        t.startup_count <- t.startup_count + 1;
+        t.node_startup_count.(src) <- t.node_startup_count.(src) + 1;
+        let inject_at =
+          reserve_cpu t src ~from:t0 t.machine.Machine.send_overhead
         in
         if Trace.enabled t.trace then
           Trace.emit t.trace
             (Trace.Msg_send
                { ts = t0; id; parent; txn; inject = inject_at; level; src;
                  dst; size; local = false });
+        let _, outcome =
+          transmit ~inject:inject_at t rel ~id ~txn ~level
+            { msg with m_payload = Env { seq; inner = payload } }
+        in
         arm_timeout t rel seq p ~from:outcome
     | None -> begin
         t.startup_count <- t.startup_count + 1;
@@ -453,7 +471,7 @@ let send t ~src ~dst ~size payload =
               Trace.emit t.trace
                 (Trace.Link_xfer
                    { start; finish = start +. occupancy; link; msg = id; txn;
-                     src; dst; size });
+                     level; src; dst; size });
             last_start := start;
             arrival := start +. t.machine.Machine.hop_latency);
         let delivered_at = !last_start +. occupancy in

@@ -7,6 +7,7 @@
 
 module Runner = Diva_harness.Runner
 module Trace = Diva_obs.Trace
+module Streaming = Diva_obs.Streaming
 
 let () =
   let tr = Trace.create () in
@@ -16,4 +17,24 @@ let () =
        (Runner.Strategy (Diva_core.Dsm.access_tree ~arity:4 ())));
   let path = "test/data/golden_chrome_2x2.json" in
   Diva_obs.Chrome_trace.write_file ~path ~num_nodes:4 (Trace.events tr);
+  Printf.printf "wrote %s (%d events)\n" path (Trace.count tr);
+  (* Same fixed run, encoded as the versioned JSONL event-trace format
+     (header + one event per line); the golden test replays the encoding
+     byte for byte. The header must match test_streaming.golden_header. *)
+  let m = Diva_simnet.Machine.gcel in
+  let header =
+    Streaming.make_header
+      ~params:[ ("block", Diva_obs.Json.Int 64) ]
+      ~app:"matmul" ~dims:[| 2; 2 |] ~strategy:"4-ary" ~seed:17
+      ~overheads:
+        { Diva_obs.Analysis.send_overhead = m.Diva_simnet.Machine.send_overhead;
+          recv_overhead = m.Diva_simnet.Machine.recv_overhead;
+          local_overhead = m.Diva_simnet.Machine.local_overhead }
+      ()
+  in
+  let path = "test/data/golden_events_2x2.jsonl" in
+  let oc = open_out_bin path in
+  let sink = Streaming.file_sink oc header in
+  List.iter (Trace.emit sink) (Trace.events tr);
+  close_out oc;
   Printf.printf "wrote %s (%d events)\n" path (Trace.count tr)

@@ -14,6 +14,7 @@ let () =
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);
       ("analysis", Test_analysis.suite);
+      ("streaming", Test_streaming.suite);
       ("workload", Test_workload.suite);
       ("faults", Test_faults.suite);
     ]
