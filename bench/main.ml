@@ -436,6 +436,45 @@ let workload_zipf () =
        ~param:"zipf" ~rows)
 
 (* ------------------------------------------------------------------ *)
+(* Open-loop service (extension: SLO tails and the saturation knee)     *)
+(* ------------------------------------------------------------------ *)
+
+module Service = Diva_service
+
+let service_strategies =
+  [ ("fixed-home", Dsm.Fixed_home); ("4-ary", Dsm.access_tree ~arity:4 ()) ]
+
+(* Rates are scaled to the simulator's per-request DSM cost: the moderate
+   point loads the mesh to roughly half capacity (and its >= 1000 arrivals
+   keep the p999 guard satisfied), the heavy point is past the knee. *)
+let service_spec ~procs ~rate =
+  Service.Spec.make ~keys:512 ~value_size:64 ~clients:100_000 ~rate
+    ~horizon_us:400_000.0
+    ~phases:
+      (Service.Spec.scenario_phases Service.Spec.Steady ~keys:512 ~procs
+         ~zipf:0.9)
+    ~seed:1 ()
+
+let service_dims () = if !paper_scale then [| 16; 16 |] else [| 8; 8 |]
+
+let service_knee () =
+  banner "Service: open-loop saturation sweep, poisson arrivals, 95% reads";
+  let dims = service_dims () in
+  let procs = Array.fold_left ( * ) 1 dims in
+  let rates =
+    if !paper_scale then [ 4_000.0; 8_000.0; 16_000.0; 32_000.0 ]
+    else [ 2_000.0; 4_000.0; 8_000.0; 16_000.0 ]
+  in
+  List.iter
+    (fun (_, s) ->
+      let sw =
+        Service.Sweep.run ~dims ~strategy:s ~rates
+          (service_spec ~procs ~rate:(List.hd rates))
+      in
+      print_string (Service.Sweep.render sw))
+    service_strategies
+
+(* ------------------------------------------------------------------ *)
 (* Fault injection (extension: degradation under message loss)          *)
 (* ------------------------------------------------------------------ *)
 
@@ -567,6 +606,29 @@ let bench_doc () =
                workload_strategies) ))
       workload_skews
   in
+  let service =
+    let dims = service_dims () in
+    let procs = Array.fold_left ( * ) 1 dims in
+    let rates =
+      if !paper_scale then [ 10_000.0; 40_000.0 ] else [ 3_000.0; 12_000.0 ]
+    in
+    List.map
+      (fun rate ->
+        ( Printf.sprintf "rate-%.0f" rate,
+          Obj
+            (List.map
+               (fun (sn, s) ->
+                 let r =
+                   Service.Engine.run ~dims ~strategy:s
+                     (service_spec ~procs ~rate)
+                 in
+                 ( sn,
+                   Obj
+                     (Runner.measurement_fields r.Service.Engine.measurements
+                     @ Service.Engine.result_fields r) ))
+               service_strategies) ))
+      rates
+  in
   Obj
     [
       ("schema", String "diva-bench/1");
@@ -579,6 +641,7 @@ let bench_doc () =
             ("bitonic", Obj bitonic);
             ("barnes-hut", Obj nbody);
             ("workload", Obj workload);
+            ("service", Obj service);
           ] );
     ]
 
@@ -778,6 +841,7 @@ let () =
       ("replacement", replacement_ablation);
       ("dimensions", dimensions_ablation);
       ("workload_zipf", workload_zipf);
+      ("service_knee", service_knee);
       ("faults", fault_degradation);
       ("bench_json", bench_json);
     ]

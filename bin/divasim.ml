@@ -1243,6 +1243,301 @@ let chaos_cmd =
       const run $ mesh $ schedules $ seed_t $ ops $ vars $ lock_every
       $ read_ratio $ no_verify $ manifest $ smoke)
 
+(* ------------------------------------------------------------------ *)
+(* Open-loop service scenario                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Service = Diva_service
+
+let serve_cmd =
+  let keys =
+    Arg.(
+      value & opt int 4096
+      & info [ "keys" ] ~docv:"N" ~doc:"Key space size (one variable per key).")
+  in
+  let value_size =
+    Arg.(
+      value & opt int 64
+      & info [ "value-size" ] ~docv:"BYTES" ~doc:"Payload bytes per key.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Client population, hashed onto mesh entry nodes.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 2_000.0
+      & info [ "rate" ] ~docv:"REQ_PER_S"
+          ~doc:
+            "Mean offered load in requests per simulated second. For scale: \
+             a DSM request costs a few simulated milliseconds, so ~2000 \
+             req/s saturates a 4x4 mesh.")
+  in
+  let horizon_ms =
+    Arg.(
+      value & opt float 400.0
+      & info [ "horizon-ms" ] ~docv:"MS"
+          ~doc:"Arrival horizon in simulated milliseconds; requests stop \
+                arriving after it, but queued ones still drain.")
+  in
+  let arrival =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("poisson", `Poisson); ("bursty", `Bursty);
+               ("diurnal", `Diurnal) ])
+          `Poisson
+      & info [ "arrival" ] ~docv:"PROC"
+          ~doc:
+            "Arrival process: $(b,poisson) (memoryless), $(b,bursty) \
+             (two-state modulated, 8x bursts) or $(b,diurnal) (raised-cosine \
+             intensity, one cycle per horizon).")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("steady", Service.Spec.Steady);
+               ("flash-crowd", Service.Spec.Flash_crowd);
+               ("hot-migrate", Service.Spec.Hot_migrate) ])
+          Service.Spec.Steady
+      & info [ "scenario" ] ~docv:"S"
+          ~doc:
+            "Key-popularity phase schedule: $(b,steady) Zipf, \
+             $(b,flash-crowd) (a mid-run pile-on onto a small hotset), or \
+             $(b,hot-migrate) (the hotset's homes walk across the mesh).")
+  in
+  let zipf =
+    Arg.(
+      value & opt zipf_conv 0.9
+      & info [ "zipf" ] ~docv:"S" ~doc:"Steady-phase Zipf exponent.")
+  in
+  let read_ratio =
+    Arg.(
+      value
+      & opt (ratio_conv ~what:"read ratio") 0.95
+      & info [ "read-ratio" ] ~docv:"R"
+          ~doc:"Fraction of requests that are reads, in [0,1].")
+  in
+  let rates_conv =
+    let parse s =
+      let parts = String.split_on_char ',' s in
+      let rs = List.filter_map float_of_string_opt parts in
+      if
+        List.length rs = List.length parts
+        && rs <> []
+        && List.for_all (fun r -> Float.is_finite r && r > 0.0) rs
+      then Ok rs
+      else
+        Error
+          (`Msg
+             "sweep is a comma-separated list of positive rates (req/s), \
+              e.g. 10000,50000,200000")
+    in
+    Arg.conv
+      ( parse,
+        fun ppf rs ->
+          Format.fprintf ppf "%s"
+            (String.concat "," (List.map (Printf.sprintf "%g") rs)) )
+  in
+  let sweep =
+    Arg.(
+      value
+      & opt (some rates_conv) None
+      & info [ "sweep" ] ~docv:"RATES"
+          ~doc:
+            "Saturation sweep: run the scenario once per offered load in the \
+             comma-separated list, detect the load-latency knee, and print \
+             the sweep table instead of a single report.")
+  in
+  let sweep_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sweep-out" ] ~docv:"FILE"
+          ~doc:"Write the machine-readable sweep table (JSON) to $(docv).")
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt (ratio_conv ~what:"knee threshold") Service.Sweep.default_threshold
+      & info [ "knee-threshold" ] ~docv:"R"
+          ~doc:
+            "A sweep point saturates when goodput/offered falls below \
+             $(docv); the knee is the highest load still above it.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI smoke: a short Poisson run on a 4x4 mesh under both the \
+             fixed-home and 4-ary strategies, each run twice to verify \
+             bit-identical determinism, plus a mini saturation sweep per \
+             strategy (honors $(b,--sweep-out)).")
+  in
+  let mesh_str dims =
+    String.concat "x" (List.map string_of_int (Array.to_list dims))
+  in
+  let run dims strategy keys value_size clients rate horizon_ms arrival
+      scenario zipf read_ratio sweep sweep_out threshold smoke seed heatmap oo
+      =
+    if smoke then begin
+      let dims = [| 4; 4 |] in
+      let keys = min keys 256 in
+      let horizon_us = 400_000.0 in
+      let spec =
+        Service.Spec.make ~keys ~value_size:64 ~clients:10_000 ~rate:1_000.0
+          ~horizon_us ~arrival:Service.Arrival.Poisson ~read_ratio:0.95
+          ~phases:
+            (Service.Spec.scenario_phases Service.Spec.Steady ~keys ~procs:16
+               ~zipf:0.9)
+          ~seed ()
+      in
+      Printf.printf
+        "service smoke: 4x4 mesh, %d keys, poisson %.0f req/s for %.0f ms\n"
+        keys spec.Service.Spec.rate (horizon_us /. 1000.0);
+      let ok = ref true in
+      let sweeps =
+        List.map
+          (fun (name, strategy) ->
+            let r1 = Service.Engine.run ~dims ~strategy spec in
+            let r2 = Service.Engine.run ~dims ~strategy spec in
+            if r1 <> r2 then begin
+              ok := false;
+              Printf.printf "-- %s: NOT deterministic across re-runs\n" name
+            end
+            else begin
+              Printf.printf "-- %s (deterministic re-run verified) --\n" name;
+              print_measurements r1.Service.Engine.measurements;
+              print_string (Service.Engine.render r1)
+            end;
+            Service.Sweep.run ~dims ~strategy
+              ~rates:[ 500.0; 1_500.0; 5_000.0 ]
+              spec)
+          [ ("fixed-home", Dsm.Fixed_home);
+            ("4-ary", Dsm.access_tree ~arity:4 ()) ]
+      in
+      List.iter (fun sw -> print_string (Service.Sweep.render sw)) sweeps;
+      List.iter
+        (fun sw ->
+          match sw.Service.Sweep.sv_knee with
+          | Some _ -> ()
+          | None ->
+              ok := false;
+              Printf.printf "-- %s: no sustainable load found\n"
+                sw.Service.Sweep.sv_strategy)
+        sweeps;
+      (match sweep_out with
+      | Some path ->
+          Diva_obs.Json.to_file path
+            (Service.Sweep.to_json ~params:(Service.Spec.to_params spec)
+               sweeps);
+          Printf.printf "sweep    -> %s\n" path
+      | None -> ());
+      if not !ok then exit 1
+    end
+    else begin
+      let strategy = require_dsm_strategy strategy in
+      let procs = Array.fold_left ( * ) 1 dims in
+      let horizon_us = horizon_ms *. 1000.0 in
+      let shape =
+        match arrival with
+        | `Poisson -> Service.Arrival.Poisson
+        | `Bursty ->
+            Service.Arrival.Bursty
+              { mult = 8.0; mean_on_us = horizon_us /. 10.0;
+                mean_off_us = horizon_us /. 4.0 }
+        | `Diurnal ->
+            Service.Arrival.Diurnal { trough = 0.2; period_us = horizon_us }
+      in
+      let spec =
+        Service.Spec.make ~keys ~value_size ~clients ~rate ~horizon_us
+          ~arrival:shape ~read_ratio
+          ~phases:(Service.Spec.scenario_phases scenario ~keys ~procs ~zipf)
+          ~seed ()
+      in
+      (match Service.Spec.validate spec with
+      | Ok () -> ()
+      | Error e -> failwith e);
+      let params =
+        Service.Spec.to_params spec
+        @ [ ("scenario",
+             Diva_obs.Json.String (Service.Spec.scenario_name scenario)) ]
+      in
+      match sweep with
+      | Some rates ->
+          let sw =
+            Service.Sweep.run ~threshold ~faults:oo.fault_sched ~dims
+              ~strategy ~rates spec
+          in
+          Printf.printf "service sweep %s, strategy %s, scenario %s, %s\n"
+            (mesh_str dims)
+            (Dsm.strategy_name strategy)
+            (Service.Spec.scenario_name scenario)
+            (Service.Arrival.shape_name shape);
+          print_string (Service.Sweep.render sw);
+          (match sweep_out with
+          | Some path ->
+              Diva_obs.Json.to_file path
+                (Service.Sweep.to_json ~params [ sw ]);
+              Printf.printf "sweep    -> %s\n" path
+          | None -> ())
+      | None ->
+          let obs, events_oc =
+            make_obs oo ~app:"serve" ~dims
+              ~strategy:(Dsm.strategy_name strategy) ~seed ~params
+          in
+          let on_net, faults = capture_faults heatmap in
+          let r = Service.Engine.run ~obs ~on_net ~dims ~strategy spec in
+          Printf.printf
+            "serve %s, strategy %s, scenario %s, %s, %d clients, %d keys\n"
+            (mesh_str dims)
+            (Dsm.strategy_name strategy)
+            (Service.Spec.scenario_name scenario)
+            (Service.Arrival.shape_name shape)
+            clients keys;
+          print_measurements r.Service.Engine.measurements;
+          print_faults !faults;
+          print_string (Service.Engine.render r);
+          write_artifacts oo obs ~events_oc ~app:"serve" ~dims
+            ~strategy:(Dsm.strategy_name strategy) ~seed ~params
+            ~measurements:
+              (Runner.measurement_fields r.Service.Engine.measurements
+              @ Service.Engine.result_fields r
+              @ fault_json !faults)
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Open-loop key-value service: SLO tails, goodput and saturation \
+          sweeps"
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Simulates a production-shaped service on the mesh: an open-loop \
+              arrival process (Poisson, bursty or diurnal) drives a client \
+              population hashed onto entry nodes, each request is served \
+              through the DSM under the chosen strategy, and the report shows \
+              exact-order-statistic latency percentiles (p50/p99/p999 with a \
+              minimum-sample guard), goodput vs offered load, and per-node \
+              queue depth high-water marks. Because arrivals never wait for \
+              completions, queues genuinely grow past saturation. $(b,--sweep) \
+              steps the offered load and reports the load-latency knee; \
+              $(b,--scenario) switches the key-popularity phase schedule. \
+              Composes with $(b,--faults), $(b,--events) (post-mortem via \
+              $(b,divasim analyze --offline)), $(b,--record) and the other \
+              observability artifacts." ])
+    Term.(
+      const run $ mesh_t $ strategy_t $ keys $ value_size $ clients $ rate
+      $ horizon_ms $ arrival $ scenario $ zipf $ read_ratio $ sweep $ sweep_out
+      $ threshold $ smoke $ seed_t $ heatmap_t $ obs_opts_t)
+
 let () =
   let doc = "DIVA: simulated data management in mesh networks (SPAA'99)" in
   let info = Cmd.info "divasim" ~doc in
@@ -1250,4 +1545,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ matmul_cmd; bitonic_cmd; nbody_cmd; analyze_cmd; workload_cmd;
-            chaos_cmd ]))
+            chaos_cmd; serve_cmd ]))

@@ -32,8 +32,12 @@ type direction = Higher_bad | Lower_bad | Exact
 
 let direction metric =
   match metric with
-  | "dsm_read_hits" | "ops_per_sim_sec" -> Lower_bad
-  | "dsm_reads" | "ops" -> Exact
+  | "dsm_read_hits" | "ops_per_sim_sec" | "goodput_per_s"
+  | "completed_in_horizon" ->
+      Lower_bad
+  | "dsm_reads" | "ops" | "arrivals" | "completions" | "requests"
+  | "offered_per_s" ->
+      Exact
   | _ -> Higher_bad
 
 (* Deterministic simulation: identical code gives identical numbers, so
@@ -59,7 +63,19 @@ let default_tolerances =
     ("lat_p50_us", 0.10);
     ("lat_p95_us", 0.15);
     ("lat_p99_us", 0.20);
+    ("lat_p999_us", 0.25);
     ("lat_max_us", 0.25);
+    (* Service scenario: the arrival side (arrivals, offered load, request
+       counts) is fixed by the seed alone, so it gates exactly; the service
+       side (goodput, queue depths, makespan) moves with perf changes. *)
+    ("arrivals", 0.0);
+    ("completions", 0.0);
+    ("requests", 0.0);
+    ("offered_per_s", 0.0);
+    ("goodput_per_s", 0.10);
+    ("completed_in_horizon", 0.10);
+    ("queue_hwm", 0.25);
+    ("makespan_us", 0.10);
   ]
 
 let number = function

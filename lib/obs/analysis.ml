@@ -442,24 +442,27 @@ module Windows_fold = struct
         tables = Array.init n (fun _ -> Hashtbl.create 32);
       }
 
+  let feed_xfer t ~link ~size ~start:s ~finish:f =
+    if t.n > 0 && f > s then begin
+      let rate = float_of_int size /. (f -. s) in
+      let first = max 0 (int_of_float (s /. t.w))
+      and last = min (t.n - 1) (int_of_float (f /. t.w)) in
+      for i = first to last do
+        let lo = Float.max s (float_of_int i *. t.w)
+        and hi = Float.min f (float_of_int (i + 1) *. t.w) in
+        if hi > lo then
+          let prev =
+            Option.value ~default:0.0 (Hashtbl.find_opt t.tables.(i) link)
+          in
+          Hashtbl.replace t.tables.(i) link (prev +. (rate *. (hi -. lo)))
+      done
+    end
+
   let feed t e =
-    if t.n > 0 then
-      match e with
-      | Trace.Link_xfer { link; msg; size; start = s; finish = f; _ }
-        when msg >= 0 && f > s ->
-          let rate = float_of_int size /. (f -. s) in
-          let first = max 0 (int_of_float (s /. t.w))
-          and last = min (t.n - 1) (int_of_float (f /. t.w)) in
-          for i = first to last do
-            let lo = Float.max s (float_of_int i *. t.w)
-            and hi = Float.min f (float_of_int (i + 1) *. t.w) in
-            if hi > lo then
-              let prev =
-                Option.value ~default:0.0 (Hashtbl.find_opt t.tables.(i) link)
-              in
-              Hashtbl.replace t.tables.(i) link (prev +. (rate *. (hi -. lo)))
-          done
-      | _ -> ()
+    match e with
+    | Trace.Link_xfer { link; msg; size; start; finish; _ } when msg >= 0 ->
+        feed_xfer t ~link ~size ~start ~finish
+    | _ -> ()
 
   let rows t =
     List.init t.n (fun i ->

@@ -142,7 +142,8 @@ val end_time_events : Trace.event list -> float
 
 (** Incremental per-window per-link byte attribution (the math of
     {!windows} as a fold). Window boundaries need the run's end time up
-    front, so streaming drives it as a second pass over the saved trace. *)
+    front, so {!Streaming} retains each crossing as four scalars during
+    its single pass and replays them through this fold at finalize. *)
 module Windows_fold : sig
   type t
 
@@ -150,6 +151,14 @@ module Windows_fold : sig
   (** Inert (produces no rows) when [n <= 0] or [t_end <= 0.]. *)
 
   val feed : t -> Trace.event -> unit
+  (** Feed one event; only non-ack link crossings contribute. *)
+
+  val feed_xfer :
+    t -> link:int -> size:int -> start:float -> finish:float -> unit
+  (** Feed one already-extracted link crossing — what {!feed} does for a
+      [Link_xfer] event. Zero-length crossings ([finish <= start]) are
+      ignored. *)
+
   val rows : t -> window list
 end
 

@@ -49,6 +49,17 @@ type t = {
   levels : (int, level_acc) Hashtbl.t;
   links : (int, link_acc) Hashtbl.t;
   txn_fold : Analysis.Txn_fold.t;
+  (* Every link crossing, four scalars each, in emission order: window
+     boundaries need the end time, so binning must wait for [finalize].
+     Replaying these through {!Analysis.Windows_fold} there performs the
+     identical float operations in the identical order as a second pass
+     over the file would, keeping the summary bit-identical while the
+     analysis itself stays single-pass. Empty when [num_windows <= 0]. *)
+  mutable x_link : int array;
+  mutable x_size : int array;
+  mutable x_start : float array;
+  mutable x_finish : float array;
+  mutable x_n : int;
   mutable n_events : int;
   mutable n_msgs : int;
   mutable t_end : float;
@@ -84,11 +95,32 @@ let create ?(top_k = 10) ?(num_windows = 8) ?(ring = 1024) ov =
     levels = Hashtbl.create 8;
     links = Hashtbl.create 64;
     txn_fold = Analysis.Txn_fold.create ();
+    x_link = [||];
+    x_size = [||];
+    x_start = [||];
+    x_finish = [||];
+    x_n = 0;
     n_events = 0;
     n_msgs = 0;
     t_end = 0.0;
     peak = 0;
   }
+
+let push_xfer t ~link ~size ~start ~finish =
+  let cap = Array.length t.x_link in
+  if t.x_n = cap then begin
+    let cap' = max 1024 (2 * cap) in
+    let grow mk a = let b = mk cap' in Array.blit a 0 b 0 t.x_n; b in
+    t.x_link <- grow (fun n -> Array.make n 0) t.x_link;
+    t.x_size <- grow (fun n -> Array.make n 0) t.x_size;
+    t.x_start <- grow (fun n -> Array.make n 0.0) t.x_start;
+    t.x_finish <- grow (fun n -> Array.make n 0.0) t.x_finish
+  end;
+  t.x_link.(t.x_n) <- link;
+  t.x_size.(t.x_n) <- size;
+  t.x_start.(t.x_n) <- start;
+  t.x_finish.(t.x_n) <- finish;
+  t.x_n <- t.x_n + 1
 
 let ring_mem t txn = Hashtbl.mem t.ring_set txn
 
@@ -229,6 +261,7 @@ let feed t e =
         lk.lka_bytes <- lk.lka_bytes + size;
         lk.lka_busy <- lk.lka_busy +. (finish -. start);
         t.t_end <- Float.max t.t_end finish;
+        if t.num_windows > 0 then push_xfer t ~link ~size ~start ~finish;
         match Hashtbl.find_opt t.msgs msg with
         | Some r -> r.r_rev_xfers <- (start, finish) :: r.r_rev_xfers
         | None -> ()
@@ -283,7 +316,21 @@ let link_rows t =
       :: acc)
     t.links []
 
-let finalize ?(windows = []) t =
+(* Replay the retained crossings through a fresh fold now that the end
+   time is known: same operands, same order as a second pass over the
+   source, so the rows are bit-identical to the batch path. *)
+let fold_windows t =
+  let wf = Analysis.Windows_fold.create ~n:t.num_windows ~t_end:t.t_end in
+  for i = 0 to t.x_n - 1 do
+    Analysis.Windows_fold.feed_xfer wf ~link:t.x_link.(i) ~size:t.x_size.(i)
+      ~start:t.x_start.(i) ~finish:t.x_finish.(i)
+  done;
+  Analysis.Windows_fold.rows wf
+
+let finalize ?windows t =
+  let windows =
+    match windows with Some ws -> ws | None -> fold_windows t
+  in
   {
     Analysis.sm_num_txns = Analysis.Txn_fold.num_txns t.txn_fold;
     sm_num_msgs = t.n_msgs;
@@ -299,15 +346,13 @@ let finalize ?(windows = []) t =
     sm_ops = Analysis.Txn_fold.op_rows t.txn_fold;
   }
 
-(* Two passes over an in-memory event list (window boundaries need the end
-   time): handy for tests and replays. Returns the summary and the peak
+(* One pass over an in-memory event list — windows fold from the retained
+   crossings at [finalize]. Returns the summary and the peak
    message-record residency. *)
 let analyze_events ?top_k ?num_windows ?ring ov events =
   let t = create ?top_k ?num_windows ?ring ov in
   List.iter (feed t) events;
-  let wf = Analysis.Windows_fold.create ~n:t.num_windows ~t_end:t.t_end in
-  List.iter (Analysis.Windows_fold.feed wf) events;
-  (finalize ~windows:(Analysis.Windows_fold.rows wf) t, t.peak)
+  (finalize t, t.peak)
 
 (* ------------------------------------------------------------------ *)
 (* On-disk JSONL trace format                                           *)
@@ -615,9 +660,9 @@ let probe path =
       | exception End_of_file -> Error "empty trace file"
       | line -> Result.map (fun (_ : header) -> ()) (parse_header line))
 
-(* Full offline post-mortem: pass 1 streams the file through the analyzer
-   (bounded memory), pass 2 re-reads it to bin link traffic into windows
-   (the boundaries need pass 1's end time). Returns the header, the
+(* Full offline post-mortem in a single pass over the file: the analyzer
+   retains each link crossing as four scalars and bins them into windows
+   at [finalize], once the end time is known. Returns the header, the
    summary — bit-identical to [Analysis.summarize] over the same events —
    and the peak message-record residency. *)
 let analyze_file ?top_k ?num_windows ?ring path =
@@ -631,6 +676,4 @@ let analyze_file ?top_k ?num_windows ?ring path =
   in
   let t = create ?top_k ?num_windows ?ring header.h_overheads in
   let* _ = iter_file path ~f:(feed t) in
-  let wf = Analysis.Windows_fold.create ~n:t.num_windows ~t_end:t.t_end in
-  let* _ = iter_file path ~f:(Analysis.Windows_fold.feed wf) in
-  Ok (header, finalize ~windows:(Analysis.Windows_fold.rows wf) t, t.peak)
+  Ok (header, finalize t, t.peak)

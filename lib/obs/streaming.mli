@@ -47,15 +47,18 @@ val peak_msgs : t -> int
 (** High-water mark of {!live_msgs} — the analyzer's peak residency. *)
 
 val end_time : t -> float
-(** {!Analysis.end_time_events} of the stream so far; after the run it is
-    the time basis for a {!Analysis.Windows_fold} second pass. *)
+(** {!Analysis.end_time_events} of the stream so far — the time basis for
+    the window boundaries placed at {!finalize}. *)
 
 val num_windows : t -> int
 
 val finalize : ?windows:Analysis.window list -> t -> Analysis.summary
-(** Non-destructive. [windows] (from a {!Analysis.Windows_fold} second
-    pass) defaults to none: a purely single-pass consumer has no end time
-    up front to place window boundaries. *)
+(** Non-destructive. When [windows] is omitted, the windowed link series
+    is folded here from the crossings retained during the pass (four
+    scalars per crossing; none retained when [num_windows <= 0]) — the
+    same operands in the same order a second {!Analysis.Windows_fold}
+    pass over the source would see, so the rows are bit-identical.
+    Passing [windows] overrides that with externally computed rows. *)
 
 val analyze_events :
   ?top_k:int ->
@@ -64,7 +67,7 @@ val analyze_events :
   Analysis.overheads ->
   Trace.event list ->
   Analysis.summary * int
-(** Both passes over an in-memory event list; returns the summary and the
+(** One pass over an in-memory event list; returns the summary and the
     peak message-record residency. *)
 
 (** {2 On-disk JSONL trace format}
@@ -128,7 +131,8 @@ val analyze_file :
   ?ring:int ->
   string ->
   (header * Analysis.summary * int, string) result
-(** Full offline post-mortem of a saved trace: pass 1 streams the file
-    through the analyzer, pass 2 re-reads it to bin link traffic into
-    windows. Returns the header, a summary bit-identical to analyzing the
-    live run, and the peak message-record residency. *)
+(** Full offline post-mortem of a saved trace in a single pass: the file
+    is read once, and the windowed link series folds at the end from the
+    crossings retained along the way. Returns the header, a summary
+    bit-identical to analyzing the live run, and the peak message-record
+    residency. *)

@@ -1,0 +1,30 @@
+(** Open-loop arrival processes for the service scenario.
+
+    A generator produces a deterministic, strictly non-decreasing stream
+    of arrival timestamps (simulated microseconds) from a seed, fully
+    decoupled from service completion — requests keep arriving at the
+    configured rate whether or not the servers keep up, which is what
+    lets queues genuinely grow past the saturation knee. *)
+
+type shape =
+  | Poisson  (** homogeneous: exponential inter-arrival times *)
+  | Bursty of { mult : float; mean_on_us : float; mean_off_us : float }
+      (** two-state modulated Poisson: the rate is the configured base in
+          the quiet state and [mult] times it in the burst state, with
+          exponentially distributed dwell times of the given means *)
+  | Diurnal of { trough : float; period_us : float }
+      (** raised-cosine intensity: the configured rate is the peak, the
+          trough is [trough] of it, one full cycle every [period_us] *)
+
+val shape_name : shape -> string
+val validate : rate:float -> shape -> (unit, string) result
+
+type gen
+
+val make : seed:int -> rate:float -> shape -> gen
+(** [rate] is in requests per simulated second.
+    Raises [Invalid_argument] when {!validate} fails. *)
+
+val next : gen -> float
+(** The next arrival timestamp. Consecutive calls are non-decreasing; the
+    stream is unbounded (the caller stops at its horizon). *)

@@ -1,0 +1,131 @@
+module Wspec = Diva_workload.Spec
+module Json = Diva_obs.Json
+
+type phase = {
+  ph_frac : float;
+  ph_popularity : Wspec.popularity;
+  ph_shift : int;
+}
+
+type t = {
+  keys : int;
+  value_size : int;
+  clients : int;
+  rate : float;
+  horizon_us : float;
+  arrival : Arrival.shape;
+  read_ratio : float;
+  phases : phase list;
+  seed : int;
+}
+
+let phase ?(popularity = Wspec.Zipf 0.9) ?(shift = 0) frac =
+  { ph_frac = frac; ph_popularity = popularity; ph_shift = shift }
+
+(* Default rate/horizon are scaled to the simulator's DSM op cost (a few
+   simulated milliseconds per request): ~2000 req/s saturates a 4x4 mesh,
+   so the defaults load an 8x8 to roughly a quarter of capacity. *)
+let make ?(keys = 4096) ?(value_size = 64) ?(clients = 1_000_000)
+    ?(rate = 2_000.0) ?(horizon_us = 400_000.0) ?(arrival = Arrival.Poisson)
+    ?(read_ratio = 0.95) ?(phases = [ phase 1.0 ]) ?(seed = 1) () =
+  { keys; value_size; clients; rate; horizon_us; arrival; read_ratio; phases;
+    seed }
+
+type scenario = Steady | Flash_crowd | Hot_migrate
+
+let scenario_name = function
+  | Steady -> "steady"
+  | Flash_crowd -> "flash-crowd"
+  | Hot_migrate -> "hot-migrate"
+
+(* A hotset of a handful of keys: ~1.5% of the key space, but never fewer
+   than one key and never the whole space. *)
+let hotset keys =
+  let frac = Float.max (1.0 /. float_of_int keys) 0.015 in
+  Wspec.Hot_cold { hot_fraction = Float.min frac 0.5; hot_weight = 0.9 }
+
+let scenario_phases scenario ~keys ~procs ~zipf =
+  let steady = Wspec.Zipf zipf in
+  let hot = hotset keys in
+  match scenario with
+  | Steady -> [ phase ~popularity:steady 1.0 ]
+  | Flash_crowd ->
+      (* Normal traffic, a flash crowd piles onto the hotset, recovery. *)
+      [ phase ~popularity:steady 0.4;
+        phase ~popularity:hot 0.3;
+        phase ~popularity:steady 0.3 ]
+  | Hot_migrate ->
+      (* The hotset stays hot but its keys' homes walk across the mesh:
+         shifting drawn ranks by a quarter of the processor count per
+         phase moves the hot homes since a key's home is [key mod procs]. *)
+      List.init 4 (fun i ->
+          phase ~popularity:hot ~shift:(i * max 1 (procs / 4)) 0.25)
+
+let validate t =
+  let check cond msg rest = if cond then rest () else Error msg in
+  check (t.keys >= 1) "keys must be >= 1" @@ fun () ->
+  check (t.value_size >= 1) "value size must be >= 1 byte" @@ fun () ->
+  check (t.clients >= 1) "client population must be >= 1" @@ fun () ->
+  check
+    (Float.is_finite t.horizon_us && t.horizon_us > 0.0)
+    "horizon must be > 0 microseconds"
+  @@ fun () ->
+  check
+    (t.read_ratio >= 0.0 && t.read_ratio <= 1.0)
+    "read ratio must be in [0,1]"
+  @@ fun () ->
+  check (t.phases <> []) "at least one phase is required" @@ fun () ->
+  match Arrival.validate ~rate:t.rate t.arrival with
+  | Error e -> Error e
+  | Ok () ->
+      let rec phases i = function
+        | [] -> Ok ()
+        | p :: rest ->
+            let err msg = Error (Printf.sprintf "phase %d: %s" i msg) in
+            if not (Float.is_finite p.ph_frac && p.ph_frac > 0.0) then
+              err "fraction must be > 0"
+            else if p.ph_shift < 0 then err "shift must be >= 0"
+            else begin
+              match
+                Wspec.validate
+                  (Wspec.make ~num_vars:t.keys ~popularity:p.ph_popularity ())
+              with
+              | Error e -> err e
+              | Ok () -> phases (i + 1) rest
+            end
+      in
+      phases 0 t.phases
+
+(* Phase end times over the horizon, fractions normalized; the last
+   boundary is forced to the horizon so a float rounding residue cannot
+   leave the final instants unattributed. *)
+let boundaries t =
+  let total = List.fold_left (fun acc p -> acc +. p.ph_frac) 0.0 t.phases in
+  let n = List.length t.phases in
+  let ends = Array.make n t.horizon_us in
+  let acc = ref 0.0 in
+  List.iteri
+    (fun i p ->
+      acc := !acc +. p.ph_frac;
+      ends.(i) <- (if i = n - 1 then t.horizon_us
+                   else t.horizon_us *. !acc /. total))
+    t.phases;
+  ends
+
+let index_at bounds time =
+  let n = Array.length bounds in
+  let rec go i = if i >= n - 1 || time < bounds.(i) then i else go (i + 1) in
+  go 0
+
+let to_params t =
+  let open Json in
+  [
+    ("keys", Int t.keys);
+    ("value_size", Int t.value_size);
+    ("clients", Int t.clients);
+    ("rate_per_s", Float t.rate);
+    ("horizon_us", Float t.horizon_us);
+    ("arrival", String (Arrival.shape_name t.arrival));
+    ("read_ratio", Float t.read_ratio);
+    ("phases", Int (List.length t.phases));
+  ]

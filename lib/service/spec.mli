@@ -1,0 +1,65 @@
+(** Service scenario description: an open-loop key-value service.
+
+    A client population is mapped onto the mesh's entry nodes; requests
+    arrive by an {!Arrival} process over a fixed horizon, and key
+    popularity follows a phase schedule — each phase draws keys through
+    its own {!Diva_workload.Sampler} distribution, optionally rotated
+    across the mesh ([ph_shift]) to model a migrating hot spot. *)
+
+type phase = {
+  ph_frac : float;  (** share of the horizon (normalized over all phases) *)
+  ph_popularity : Diva_workload.Spec.popularity;
+  ph_shift : int;
+      (** added to drawn key ranks mod [keys]: since a key's home is
+          [key mod procs], a shift walks the phase's hot homes across
+          the mesh *)
+}
+
+type t = {
+  keys : int;  (** key space size (one DSM variable per key) *)
+  value_size : int;  (** payload bytes per key *)
+  clients : int;  (** client population mapped onto entry nodes *)
+  rate : float;  (** mean offered load, requests per simulated second *)
+  horizon_us : float;  (** arrivals stop after this simulated time *)
+  arrival : Arrival.shape;
+  read_ratio : float;  (** fraction of requests that are reads *)
+  phases : phase list;
+  seed : int;
+}
+
+val phase :
+  ?popularity:Diva_workload.Spec.popularity -> ?shift:int -> float -> phase
+
+val make :
+  ?keys:int ->
+  ?value_size:int ->
+  ?clients:int ->
+  ?rate:float ->
+  ?horizon_us:float ->
+  ?arrival:Arrival.shape ->
+  ?read_ratio:float ->
+  ?phases:phase list ->
+  ?seed:int ->
+  unit ->
+  t
+
+type scenario = Steady | Flash_crowd | Hot_migrate
+
+val scenario_name : scenario -> string
+
+val scenario_phases :
+  scenario -> keys:int -> procs:int -> zipf:float -> phase list
+(** Canned phase schedules: steady Zipf, a flash crowd onto a small
+    hotset, or a hotset whose homes migrate across the mesh. *)
+
+val validate : t -> (unit, string) result
+
+val boundaries : t -> float array
+(** Phase end times in microseconds (fractions normalized over the
+    horizon); the last entry is exactly the horizon. *)
+
+val index_at : float array -> float -> int
+(** [index_at (boundaries t) time] is the phase governing an arrival at
+    [time]; times at or past the horizon fall into the last phase. *)
+
+val to_params : t -> (string * Diva_obs.Json.t) list

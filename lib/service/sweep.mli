@@ -1,0 +1,49 @@
+(** Saturation-sweep driver: step the offered load, find the knee.
+
+    Each stepped rate re-runs the {!Engine} with the same spec (same
+    seed, horizon and phase schedule) at that offered load. A point is
+    marked {e diverged} when its achieved/offered throughput ratio falls
+    below the threshold — past saturation the open-loop arrivals outrun
+    the servers, queues grow and goodput detaches from offered load. The
+    {e knee} is the highest stepped load the strategy still sustains. *)
+
+type row = {
+  sw_rate : float;  (** configured rate, requests per simulated second *)
+  sw_offered : float;  (** measured arrivals per second *)
+  sw_goodput : float;  (** in-horizon completions per second *)
+  sw_ratio : float;  (** goodput / offered *)
+  sw_p50 : float;
+  sw_p99 : float;
+  sw_p999 : float option;  (** guarded: [None] under 1000 samples *)
+  sw_qmax : int;  (** worst per-node queue depth high-water mark *)
+  sw_makespan : float;
+  sw_diverged : bool;  (** ratio below the threshold *)
+}
+
+type t = {
+  sv_strategy : string;
+  sv_threshold : float;
+  sv_rows : row list;  (** ascending by rate *)
+  sv_knee : float option;
+      (** highest non-diverged rate; [None] when every point diverges *)
+}
+
+val default_threshold : float
+(** 0.95 *)
+
+val run :
+  ?threshold:float ->
+  ?faults:Diva_faults.Schedule.t ->
+  dims:int array ->
+  strategy:Diva_core.Dsm.strategy ->
+  rates:float list ->
+  Spec.t ->
+  t
+(** Sorts and dedups [rates]; the spec's own [rate] field is overridden
+    point by point. Raises [Invalid_argument] on an empty rate list. *)
+
+val to_json : params:(string * Diva_obs.Json.t) list -> t list -> Diva_obs.Json.t
+(** The machine-readable sweep table (schema [diva-service-sweep/1]),
+    one entry per strategy. *)
+
+val render : t -> string

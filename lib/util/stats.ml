@@ -15,7 +15,12 @@ let percentile p a =
     let s = Array.copy a in
     Array.sort Float.compare s;
     let p = Float.max 0.0 (Float.min 100.0 p) in
-    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+    (* The epsilon keeps float noise in p/100*n from pushing the rank past
+       an exact integer product (e.g. 99.9% of 1000 must rank 999, but the
+       double product lands a hair above 999 and would ceil to 1000). *)
+    let rank =
+      int_of_float (Float.ceil ((p /. 100.0 *. float_of_int n) -. 1e-9))
+    in
     s.(max 0 (min (n - 1) (rank - 1)))
   end
 

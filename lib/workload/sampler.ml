@@ -29,37 +29,83 @@ let bucket_of_keys spec keys =
     keys;
   { keys; cum }
 
+(* All nodes within Manhattan radius [r] of [home]: enumerate coordinate
+   offsets dimension by dimension with the remaining radius as budget, so
+   building every ball costs O(procs x ball size) rather than a distance
+   scan of the whole mesh per node. *)
+let ball mesh ~r home =
+  let dims = Mesh.dims mesh in
+  let nd = Array.length dims in
+  let c = Mesh.coords_nd mesh home in
+  let cur = Array.copy c in
+  let acc = ref [] in
+  let rec go d budget =
+    if d = nd then acc := Mesh.node_at_nd mesh cur :: !acc
+    else begin
+      let lo = max 0 (c.(d) - budget)
+      and hi = min (dims.(d) - 1) (c.(d) + budget) in
+      for x = lo to hi do
+        cur.(d) <- x;
+        go (d + 1) (budget - abs (x - c.(d)))
+      done;
+      cur.(d) <- c.(d)
+    end
+  in
+  go 0 r;
+  Array.of_list !acc
+
+(* Candidate key sets for every processor in one pass over the key space:
+   key [k] (homed on [k mod procs]) is appended to each processor whose
+   candidate set contains it. Construction is O(keys x procs-per-key) —
+   linear in the key space for a fixed locality radius — instead of the
+   full num_vars scan per processor a filter would cost, which is what
+   keeps million-key service specs cheap to instantiate. Keys end up in
+   ascending order per processor, exactly as the per-processor filter
+   produced them, so draws are unchanged. *)
+let local_keysets mesh ~procs ~num_vars locality =
+  let members =
+    match locality with
+    | Spec.Proc_local -> Array.init procs (fun p -> [| p |])
+    | Spec.Submesh r -> Array.init procs (fun home -> ball mesh ~r home)
+    | Spec.Global -> invalid_arg "Sampler.local_keysets: Global is shared"
+  in
+  let sizes = Array.make procs 0 in
+  for k = 0 to num_vars - 1 do
+    Array.iter
+      (fun p -> sizes.(p) <- sizes.(p) + 1)
+      members.(k mod procs)
+  done;
+  let keysets = Array.map (fun sz -> Array.make sz 0) sizes in
+  let fill = Array.make procs 0 in
+  for k = 0 to num_vars - 1 do
+    Array.iter
+      (fun p ->
+        keysets.(p).(fill.(p)) <- k;
+        fill.(p) <- fill.(p) + 1)
+      members.(k mod procs)
+  done;
+  keysets
+
 let create mesh spec =
   let procs = Mesh.num_nodes mesh in
-  let all = Array.init Spec.(spec.num_vars) Fun.id in
-  let candidates p =
-    match Spec.(spec.locality) with
-    | Spec.Global -> all
-    | Spec.Proc_local ->
-        Array.of_seq
-          (Seq.filter (fun k -> k mod procs = p) (Array.to_seq all))
-    | Spec.Submesh r ->
-        Array.of_seq
-          (Seq.filter
-             (fun k -> Mesh.distance mesh p (k mod procs) <= r)
-             (Array.to_seq all))
-  in
-  let global_bucket = lazy (bucket_of_keys spec all) in
   let buckets =
-    Array.init procs (fun p ->
-        match Spec.(spec.locality) with
-        | Spec.Global -> Lazy.force global_bucket
-        | _ ->
-            let keys = candidates p in
+    match Spec.(spec.locality) with
+    | Spec.Global ->
+        let b = bucket_of_keys spec (Array.init Spec.(spec.num_vars) Fun.id) in
+        Array.make procs b
+    | (Spec.Proc_local | Spec.Submesh _) as locality ->
+        Array.mapi
+          (fun p keys ->
             if Array.length keys = 0 then
               invalid_arg
                 (Printf.sprintf
                    "Sampler.create: processor %d has no candidate keys \
                     (locality %s needs num_vars >= %d)"
                    p
-                   (Spec.locality_name Spec.(spec.locality))
+                   (Spec.locality_name locality)
                    procs);
             bucket_of_keys spec keys)
+          (local_keysets mesh ~procs ~num_vars:Spec.(spec.num_vars) locality)
   in
   { buckets }
 

@@ -192,6 +192,79 @@ let test_gate_structural_drift () =
   Alcotest.(check bool) "render names them" true
     (contains r "MISSING" && contains r "EXTRA")
 
+(* --- bench history ring -------------------------------------------- *)
+
+let with_ring_dir f =
+  let dir = Filename.temp_file "diva-ring" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> Sys.remove (Filename.concat dir e))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let ring_doc time = doc [ matmul_entry time 5000 40 ]
+
+(* Rotation past capacity: sequence numbers keep climbing, only the newest
+   [keep] survive, and drift then gates against the oldest survivor. *)
+let test_history_rotation () =
+  with_ring_dir (fun dir ->
+      for i = 1 to 13 do
+        let name =
+          Gate.history_append ~keep:10 ~dir
+            ~label:(Printf.sprintf "c%d" i)
+            (ring_doc (1000.0 +. float_of_int i))
+        in
+        Alcotest.(check string)
+          "sequence numbering"
+          (Printf.sprintf "%04d-c%d.json" i i)
+          name
+      done;
+      let entries = Gate.history_entries dir in
+      Alcotest.(check int) "pruned to keep" 10 (List.length entries);
+      let oldest, _ = List.hd entries in
+      Alcotest.(check string) "oldest survivor is entry 4" "0004-c4.json"
+        oldest;
+      match Gate.drift ~dir ~current:(ring_doc 1004.0) () with
+      | Some (name, vs) ->
+          Alcotest.(check string) "drift reads the oldest survivor" oldest
+            name;
+          Alcotest.(check int) "identical to oldest passes" 0
+            (List.length (Gate.failures vs))
+      | None -> Alcotest.fail "ring should not be empty")
+
+let test_history_labels () =
+  with_ring_dir (fun dir ->
+      let name =
+        Gate.history_append ~dir ~label:"feat/knee sweep!" (ring_doc 1.0)
+      in
+      Alcotest.(check string) "label sanitized into the filename"
+        "0001-feat-knee-sweep-.json" name;
+      let name2 = Gate.history_append ~dir ~label:"" (ring_doc 2.0) in
+      Alcotest.(check string) "empty label gets a placeholder"
+        "0002-run.json" name2)
+
+(* A ring with exactly one entry must gate against that entry — the
+   degenerate oldest — not report emptiness. *)
+let test_history_single_entry () =
+  with_ring_dir (fun dir ->
+      Alcotest.(check bool) "empty ring yields None" true
+        (Gate.drift ~dir ~current:(ring_doc 1000.0) () = None);
+      let name = Gate.history_append ~dir ~label:"seed" (ring_doc 1000.0) in
+      (match Gate.drift ~dir ~current:(ring_doc 1000.0) () with
+      | Some (n, vs) ->
+          Alcotest.(check string) "compares the single entry" name n;
+          Alcotest.(check int) "no drift" 0 (List.length (Gate.failures vs))
+      | None -> Alcotest.fail "single-entry ring must compare");
+      match Gate.drift ~dir ~current:(ring_doc 1500.0) () with
+      | Some (_, vs) ->
+          Alcotest.(check bool) "drift past tolerance fails" true
+            (Gate.failures vs <> [])
+      | None -> Alcotest.fail "single-entry ring must compare")
+
 let test_report_tables () =
   let m =
     Runner.run_matmul ~rows:4 ~cols:4 ~block:16 Runner.Hand_optimized
@@ -230,6 +303,12 @@ let suite =
       test_gate_flags_regression;
     Alcotest.test_case "bench gate: direction aware" `Quick
       test_gate_direction_aware;
+    Alcotest.test_case "history ring: rotation past capacity" `Quick
+      test_history_rotation;
+    Alcotest.test_case "history ring: label sanitization" `Quick
+      test_history_labels;
+    Alcotest.test_case "history ring: single entry gates" `Quick
+      test_history_single_entry;
     Alcotest.test_case "bench gate: structural drift" `Quick
       test_gate_structural_drift;
     Alcotest.test_case "report tables" `Quick test_report_tables;

@@ -17,4 +17,5 @@ let () =
       ("streaming", Test_streaming.suite);
       ("workload", Test_workload.suite);
       ("faults", Test_faults.suite);
+      ("service", Test_service.suite);
     ]

@@ -264,6 +264,47 @@ let test_sampler_locality () =
   | exception Invalid_argument _ -> ()
   | (_ : Sampler.t) -> Alcotest.fail "empty candidate set not rejected"
 
+(* The linear-time construction must produce exactly the right candidate
+   set: every key homed inside the Manhattan ball and no other. Uniform
+   popularity plus enough draws makes the set fully observable. *)
+let test_sampler_candidate_sets () =
+  let dims = [| 4; 4; 4 |] in
+  let mesh = Diva_mesh.Mesh.create_nd ~dims in
+  let procs = 64 in
+  let num_vars = 256 in
+  let r = 1 in
+  let sampler =
+    Sampler.create mesh (Spec.make ~num_vars ~locality:(Spec.Submesh r) ())
+  in
+  let rng = Prng.create ~seed:11 in
+  for p = 0 to procs - 1 do
+    let expected = Hashtbl.create 32 in
+    for k = 0 to num_vars - 1 do
+      if Diva_mesh.Mesh.distance mesh p (k mod procs) <= r then
+        Hashtbl.replace expected k ()
+    done;
+    let seen = Hashtbl.create 32 in
+    for _ = 1 to 2_000 do
+      let k = Sampler.draw sampler ~proc:p rng in
+      if not (Hashtbl.mem expected k) then
+        Alcotest.failf "proc %d drew key %d homed outside radius %d" p k r;
+      Hashtbl.replace seen k ()
+    done;
+    Alcotest.(check int) "uniform draws cover the whole candidate set"
+      (Hashtbl.length expected) (Hashtbl.length seen)
+  done;
+  (* Construction stays cheap at sizes where the old per-proc scan over
+     every key would hurt; draws remain correctly homed. *)
+  let mesh8 = Diva_mesh.Mesh.create_nd ~dims:[| 8; 8 |] in
+  let big =
+    Sampler.create mesh8
+      (Spec.make ~num_vars:50_000 ~locality:Spec.Proc_local ())
+  in
+  for p = 0 to 63 do
+    let k = Sampler.draw big ~proc:p rng in
+    Alcotest.(check int) "big sampler keeps keys home" p (k mod 64)
+  done
+
 let test_spec_validation () =
   let bad spec =
     match Spec.validate spec with
@@ -361,6 +402,8 @@ let suite =
     Alcotest.test_case "sampler zipf skew" `Quick test_sampler_zipf_skew;
     Alcotest.test_case "sampler hot-cold" `Quick test_sampler_hot_cold;
     Alcotest.test_case "sampler locality" `Quick test_sampler_locality;
+    Alcotest.test_case "sampler candidate sets" `Quick
+      test_sampler_candidate_sets;
     Alcotest.test_case "spec validation" `Quick test_spec_validation;
     Alcotest.test_case "latency report" `Quick test_latency_report;
   ]
