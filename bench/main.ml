@@ -523,6 +523,99 @@ let fault_degradation () =
   print_string (Table.render tbl)
 
 (* ------------------------------------------------------------------ *)
+(* Event-loop throughput                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock and events/sec over the hottest serial configurations. The
+   event count is fully deterministic — it gates exactly, like dsm_reads,
+   so an accidental protocol change shows up as a count shift even when
+   the machine is too noisy to trust wall-clock. events/sec and wall_ms
+   vary with the machine running the gate; their tolerances (Bench_gate)
+   only catch order-of-magnitude collapses. *)
+let perf_configs () =
+  let fourary = Runner.Strategy (Dsm.access_tree ~arity:4 ()) in
+  let two4 = Runner.Strategy (Dsm.access_tree ~arity:2 ~leaf_size:4 ()) in
+  let mm q block on_net =
+    ignore (Runner.run_matmul ~on_net ~rows:q ~cols:q ~block fourary)
+  in
+  let bt q keys on_net =
+    ignore (Runner.run_bitonic ~on_net ~rows:q ~cols:q ~keys two4)
+  in
+  if !paper_scale then
+    [
+      ("matmul_32x32_4ary_b1024", mm 32 1024);
+      ("matmul_16x16_4ary_b256", mm 16 256);
+      ("bitonic_16x16_2-4ary_k4096", bt 16 4096);
+    ]
+  else
+    [
+      ("matmul_16x16_4ary_b256", mm 16 256);
+      ("bitonic_16x16_2-4ary_k1024", bt 16 1024);
+    ]
+
+(* Each config runs once; wall-clock covers setup + simulation (that is
+   what a user of divasim waits for). *)
+let perf_entry run =
+  let events = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  run (fun net -> events := Diva_simnet.Sim.events_executed (Network.sim net));
+  let wall = Unix.gettimeofday () -. t0 in
+  (!events, wall)
+
+let perf_doc () =
+  let open Diva_obs.Json in
+  Obj
+    (List.map
+       (fun (name, run) ->
+         let events, wall = perf_entry run in
+         ( name,
+           Obj
+             [
+               ("events", Int events);
+               ("events_per_sec", Float (float_of_int events /. wall));
+               ("wall_ms", Float (wall *. 1e3));
+             ] ))
+       (perf_configs ()))
+
+let perf () =
+  banner "Event-loop throughput (events/sec, wall-clock)";
+  let tbl =
+    Table.create ~header:[ "config"; "events"; "wall(ms)"; "events/sec" ]
+  in
+  let entries =
+    List.map
+      (fun (name, run) ->
+        let events, wall = perf_entry run in
+        Table.add_row tbl
+          [
+            name; string_of_int events;
+            Printf.sprintf "%.1f" (wall *. 1e3);
+            Printf.sprintf "%.0f" (float_of_int events /. wall);
+          ];
+        let open Diva_obs.Json in
+        ( name,
+          Obj
+            [
+              ("events", Int events);
+              ("events_per_sec", Float (float_of_int events /. wall));
+              ("wall_ms", Float (wall *. 1e3));
+            ] ))
+      (perf_configs ())
+  in
+  print_string (Table.render tbl);
+  (* Standalone machine-readable copy for CI artifacts; the same numbers
+     are gated through the "perf" section of BENCH_diva.json. *)
+  let open Diva_obs.Json in
+  Diva_obs.Json.to_file "PERF_diva.json"
+    (Obj
+       [
+         ("schema", String "diva-perf/1");
+         ("scale", String (if !paper_scale then "paper" else "default"));
+         ("configs", Obj entries);
+       ]);
+  Printf.printf "wrote PERF_diva.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable perf trajectory (BENCH_diva.json)                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -643,6 +736,7 @@ let bench_doc () =
             ("workload", Obj workload);
             ("service", Obj service);
           ] );
+      ("perf", perf_doc ());
     ]
 
 let bench_json () =
@@ -778,6 +872,9 @@ let history_dir : string option ref = ref None
 let history_label : string option ref = ref None
 
 let () =
+  (* Same event-loop GC tuning as the divasim CLI (see bin/divasim.ml), so
+     the throughput numbers here measure the configuration users run. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1_048_576 };
   let specs =
     [
       ("--paper", Arg.Set paper_scale, "run at the paper's full problem sizes");
@@ -843,6 +940,7 @@ let () =
       ("workload_zipf", workload_zipf);
       ("service_knee", service_knee);
       ("faults", fault_degradation);
+      ("perf", perf);
       ("bench_json", bench_json);
     ]
   in

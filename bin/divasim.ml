@@ -89,6 +89,29 @@ let strategy_t =
 let seed_t =
   Arg.(value & opt int 17 & info [ "seed" ] ~doc:"Random seed of the run.")
 
+let domains_t =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "OCaml domains to execute on. Results are identical for every \
+           $(docv): the sharded traffic engine and run-level fan-out (chaos \
+           campaigns, serve sweeps) are deterministic by construction, and \
+           single protocol-coupled runs (matmul, bitonic, nbody, workload, \
+           serve without --sweep) are inherently serial — they note and \
+           ignore $(docv) > 1 (see docs/PERFORMANCE.md).")
+
+(* The DSM stack's wormhole model reserves a message's whole route at the
+   send instant — zero lookahead — so one protocol-coupled run cannot be
+   sharded without changing its results. Say so instead of silently
+   ignoring the flag. *)
+let note_serial ~what domains =
+  if domains > 1 then
+    Printf.printf
+      "note: %s is a single protocol-coupled run (zero lookahead); running \
+       serially, --domains %d has no effect here\n"
+      what domains
+
 let heatmap_t =
   Arg.(
     value & flag
@@ -388,7 +411,8 @@ let matmul_cmd =
   let compute =
     Arg.(value & flag & info [ "compute" ] ~doc:"Include block arithmetic.")
   in
-  let run dims strategy block compute seed heatmap oo =
+  let run dims strategy block compute seed heatmap oo domains =
+    note_serial ~what:"matmul" domains;
     match dims with
     | [| rows; cols |] when rows = cols ->
         let params =
@@ -416,13 +440,14 @@ let matmul_cmd =
   Cmd.v (Cmd.info "matmul" ~doc:"Matrix squaring (paper 3.1)")
     Term.(
       const run $ mesh_t $ strategy_t $ block $ compute $ seed_t $ heatmap_t
-      $ obs_opts_t)
+      $ obs_opts_t $ domains_t)
 
 let bitonic_cmd =
   let keys =
     Arg.(value & opt int 4096 & info [ "keys" ] ~doc:"Keys per processor.")
   in
-  let run dims strategy keys seed heatmap oo =
+  let run dims strategy keys seed heatmap oo domains =
+    note_serial ~what:"bitonic" domains;
     let params = [ ("keys", Diva_obs.Json.Int keys) ] in
     let obs, events_oc =
       make_obs oo ~app:"bitonic" ~dims ~strategy:(Runner.name strategy) ~seed
@@ -441,7 +466,8 @@ let bitonic_cmd =
   in
   Cmd.v (Cmd.info "bitonic" ~doc:"Bitonic sorting (paper 3.2)")
     Term.(
-      const run $ mesh_t $ strategy_t $ keys $ seed_t $ heatmap_t $ obs_opts_t)
+      const run $ mesh_t $ strategy_t $ keys $ seed_t $ heatmap_t $ obs_opts_t
+      $ domains_t)
 
 let nbody_cmd =
   let bodies =
@@ -454,7 +480,8 @@ let nbody_cmd =
   let phases =
     Arg.(value & flag & info [ "phases" ] ~doc:"Print the per-phase breakdown.")
   in
-  let run dims strategy bodies steps theta phases seed heatmap oo =
+  let run dims strategy bodies steps theta phases seed heatmap oo domains =
+    note_serial ~what:"nbody" domains;
     let strategy =
       match strategy with
       | Runner.Strategy s -> s
@@ -498,7 +525,7 @@ let nbody_cmd =
   Cmd.v (Cmd.info "nbody" ~doc:"Barnes-Hut N-body simulation (paper 3.3)")
     Term.(
       const run $ mesh_t $ strategy_t $ bodies $ steps $ theta $ phases
-      $ seed_t $ heatmap_t $ obs_opts_t)
+      $ seed_t $ heatmap_t $ obs_opts_t $ domains_t)
 
 (* ------------------------------------------------------------------ *)
 (* analyze: span trees, critical path, congestion profiles             *)
@@ -654,7 +681,8 @@ let analyze_cmd =
       windows
   in
   let run dims strategy app block keys bodies steps input events top wins
-      json_out snapshots seed =
+      json_out snapshots seed domains =
+    note_serial ~what:"analyze (trace re-simulation)" domains;
     match input with
     | `Offline path -> (
         (match events with
@@ -819,7 +847,8 @@ let analyze_cmd =
               bit-identically — without re-simulating." ])
     Term.(
       const run $ mesh_t $ strategy_t $ app_t $ block $ keys $ bodies $ steps
-      $ input_t $ events $ top $ wins $ json_out $ snapshots $ seed_t)
+      $ input_t $ events $ top $ wins $ json_out $ snapshots $ seed_t
+      $ domains_t)
 
 (* ------------------------------------------------------------------ *)
 (* Workload engine                                                     *)
@@ -1030,7 +1059,8 @@ let workload_cmd =
   in
   let run dims strategy vars var_size ops zipf hot_cold read_ratio locality
       lock_every barrier_every think burst phases replay replay_mode smoke seed
-      heatmap oo =
+      heatmap oo domains =
+    note_serial ~what:"workload" domains;
     let popularity =
       match (zipf, hot_cold) with
       | Some _, Some _ ->
@@ -1131,7 +1161,8 @@ let workload_cmd =
     Term.(
       const run $ mesh_t $ strategy_t $ vars $ var_size $ ops $ zipf $ hot_cold
       $ read_ratio $ locality $ lock_every $ barrier_every $ think $ burst
-      $ phases $ replay $ replay_mode $ smoke $ seed_t $ heatmap_t $ obs_opts_t)
+      $ phases $ replay $ replay_mode $ smoke $ seed_t $ heatmap_t $ obs_opts_t
+      $ domains_t)
 
 let chaos_cmd =
   let mesh =
@@ -1195,7 +1226,7 @@ let chaos_cmd =
              mesh) with determinism verification on.")
   in
   let run dims schedules seed ops vars lock_every read_ratio no_verify manifest
-      smoke =
+      smoke domains =
     let cfg =
       {
         Workload.Chaos.dims;
@@ -1215,13 +1246,14 @@ let chaos_cmd =
       else cfg
     in
     Printf.printf
-      "chaos: %d fault schedules x 2 strategies on %s, %d ops/proc, seed %d%s\n"
+      "chaos: %d fault schedules x 2 strategies on %s, %d ops/proc, seed %d%s%s\n"
       cfg.Workload.Chaos.schedules
       (String.concat "x"
          (List.map string_of_int (Array.to_list cfg.Workload.Chaos.dims)))
       cfg.Workload.Chaos.ops seed
-      (if cfg.Workload.Chaos.verify_determinism then " (verified)" else "");
-    let outcomes = Workload.Chaos.run ~progress:print_endline cfg in
+      (if cfg.Workload.Chaos.verify_determinism then " (verified)" else "")
+      (if domains > 1 then Printf.sprintf ", %d domains" domains else "");
+    let outcomes = Workload.Chaos.run ~progress:print_endline ~domains cfg in
     let ok = Workload.Chaos.passed outcomes in
     (match manifest with
     | Some path ->
@@ -1241,7 +1273,117 @@ let chaos_cmd =
        ~doc:"Fault-injection campaign validated by a coherence oracle")
     Term.(
       const run $ mesh $ schedules $ seed_t $ ops $ vars $ lock_every
-      $ read_ratio $ no_verify $ manifest $ smoke)
+      $ read_ratio $ no_verify $ manifest $ smoke $ domains_t)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel mesh traffic (the Par_engine showcase)                     *)
+(* ------------------------------------------------------------------ *)
+
+let traffic_cmd =
+  let module Traffic = Diva_simnet.Traffic in
+  let rate =
+    Arg.(
+      value & opt float 0.002
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Packet injections per microsecond per node.")
+  in
+  let horizon =
+    Arg.(
+      value & opt float 50_000.0
+      & info [ "horizon" ] ~docv:"US"
+          ~doc:"Stop injecting after $(docv) simulated microseconds.")
+  in
+  let size =
+    Arg.(value & opt int 64 & info [ "size" ] ~doc:"Packet payload bytes.")
+  in
+  let pattern =
+    let pattern_conv =
+      Arg.conv
+        ( (fun s ->
+            match Traffic.pattern_of_string (String.lowercase_ascii s) with
+            | Some p -> Ok p
+            | None -> Error (`Msg "pattern is uniform, transpose or hotspot")),
+          fun fmt p -> Format.fprintf fmt "%s" (Traffic.pattern_name p) )
+    in
+    Arg.(
+      value
+      & opt pattern_conv Traffic.Uniform
+      & info [ "pattern" ] ~docv:"P"
+          ~doc:"Traffic pattern: uniform, transpose or hotspot.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI smoke: a fixed 16x16 run, executed with 1 and with \
+             --domains N domains, failing unless the reports are \
+             byte-identical.")
+  in
+  let run dims rate horizon size pattern smoke seed domains =
+    let rows, cols =
+      match dims with
+      | [| r; c |] -> (r, c)
+      | _ -> failwith "traffic needs a 2-D mesh"
+    in
+    if smoke then begin
+      let domains = max domains 4 in
+      let go d =
+        Traffic.run ~domains:d ~seed ~size:64 ~rows:16 ~cols:16 ~rate:0.002
+          ~horizon:20_000.0 ~pattern:Traffic.Uniform ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let serial = go 1 in
+      let t1 = Unix.gettimeofday () in
+      let par = go domains in
+      let t2 = Unix.gettimeofday () in
+      Printf.printf "traffic smoke: 16x16 uniform, seed %d\n" seed;
+      Printf.printf "  1 domain : %s  (%.0f ms)\n" (Traffic.render serial)
+        ((t1 -. t0) *. 1e3);
+      Printf.printf "  %d domains: %s  (%.0f ms)\n" domains
+        (Traffic.render par)
+        ((t2 -. t1) *. 1e3);
+      if Traffic.render serial <> Traffic.render par then begin
+        Printf.printf "traffic smoke: FAILED — reports differ across domains\n";
+        exit 1
+      end;
+      Printf.printf "traffic smoke: OK — byte-identical across domain counts\n"
+    end
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Traffic.run ~domains ~seed ~size ~rows ~cols ~rate ~horizon ~pattern ()
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      Printf.printf "traffic %dx%d, %s, rate %g/us/node, horizon %g us, %d \
+                     domain%s\n"
+        rows cols
+        (Traffic.pattern_name pattern)
+        rate horizon domains
+        (if domains = 1 then "" else "s");
+      Printf.printf "%s\n" (Traffic.render r);
+      Printf.printf "wall %.1f ms, %.0f events/sec\n" (wall *. 1e3)
+        (float_of_int r.Traffic.r_events /. wall)
+    end
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:"Domain-parallel mesh traffic simulation (conservative PDES)"
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Synthetic packet traffic on a 2-D mesh: per-node Poisson \
+              injection, dimension-order wormhole routing, per-hop latency \
+              and directed-link queueing. The mesh is sharded one row per \
+              logical shard and executed by the conservative windowed engine \
+              (lookahead = one hop), so $(b,--domains) N runs on N OCaml \
+              domains with byte-identical results for every N — including \
+              N=1. This is the workload that demonstrates multi-core \
+              scaling; the DSM protocol stack itself has zero lookahead and \
+              stays serial (see docs/PERFORMANCE.md)." ])
+    Term.(
+      const run $ mesh_t $ rate $ horizon $ size $ pattern $ smoke $ seed_t
+      $ domains_t)
 
 (* ------------------------------------------------------------------ *)
 (* Open-loop service scenario                                          *)
@@ -1385,7 +1527,7 @@ let serve_cmd =
   in
   let run dims strategy keys value_size clients rate horizon_ms arrival
       scenario zipf read_ratio sweep sweep_out threshold smoke seed heatmap oo
-      =
+      domains =
     if smoke then begin
       let dims = [| 4; 4 |] in
       let keys = min keys 256 in
@@ -1416,7 +1558,7 @@ let serve_cmd =
               print_measurements r1.Service.Engine.measurements;
               print_string (Service.Engine.render r1)
             end;
-            Service.Sweep.run ~dims ~strategy
+            Service.Sweep.run ~domains ~dims ~strategy
               ~rates:[ 500.0; 1_500.0; 5_000.0 ]
               spec)
           [ ("fixed-home", Dsm.Fixed_home);
@@ -1472,7 +1614,7 @@ let serve_cmd =
       match sweep with
       | Some rates ->
           let sw =
-            Service.Sweep.run ~threshold ~faults:oo.fault_sched ~dims
+            Service.Sweep.run ~threshold ~faults:oo.fault_sched ~domains ~dims
               ~strategy ~rates spec
           in
           Printf.printf "service sweep %s, strategy %s, scenario %s, %s\n"
@@ -1488,6 +1630,8 @@ let serve_cmd =
               Printf.printf "sweep    -> %s\n" path
           | None -> ())
       | None ->
+          note_serial ~what:"serve (single run; use --sweep to fan out)"
+            domains;
           let obs, events_oc =
             make_obs oo ~app:"serve" ~dims
               ~strategy:(Dsm.strategy_name strategy) ~seed ~params
@@ -1536,13 +1680,19 @@ let serve_cmd =
     Term.(
       const run $ mesh_t $ strategy_t $ keys $ value_size $ clients $ rate
       $ horizon_ms $ arrival $ scenario $ zipf $ read_ratio $ sweep $ sweep_out
-      $ threshold $ smoke $ seed_t $ heatmap_t $ obs_opts_t)
+      $ threshold $ smoke $ seed_t $ heatmap_t $ obs_opts_t $ domains_t)
 
 let () =
+  (* The simulator allocates short-lived protocol records at a high rate;
+     the default 256k-word minor heap forces a minor collection every few
+     milliseconds of simulation. 1M words measures ~10% faster on the
+     paper-scale runs without hurting cache behaviour (8M measures slower).
+     OCAMLRUNPARAM still overrides via Gc.set semantics at startup. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1_048_576 };
   let doc = "DIVA: simulated data management in mesh networks (SPAA'99)" in
   let info = Cmd.info "divasim" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
           [ matmul_cmd; bitonic_cmd; nbody_cmd; analyze_cmd; workload_cmd;
-            chaos_cmd; serve_cmd ]))
+            chaos_cmd; traffic_cmd; serve_cmd ]))

@@ -52,17 +52,13 @@ let fiber t p =
       let ascending = w land (1 lsl (i + 1)) = 0 in
       let keep_lower = if ascending then w < partner else w > partner in
       let s = !step in
-      Network.send net ~src:p ~dst:t.wire_to_proc.(partner)
+      (* Tagged send/recv: the exchange step number keys the selective
+         receive, so matching is an O(1) per-tag queue pop instead of a
+         predicate scan of the inbox. *)
+      Network.send net ~tag:s ~src:p ~dst:t.wire_to_proc.(partner)
         ~size:((m * 4) + 16)
         (Keys { step = s; data = !mine });
-      let msg =
-        Network.recv net p
-          ~where:(fun msg ->
-            match msg.Network.m_payload with
-            | Keys { step = s'; _ } -> s' = s
-            | _ -> false)
-          ()
-      in
+      let msg = Network.recv net p ~tag:s () in
       let theirs =
         match msg.Network.m_payload with
         | Keys { data; _ } -> data

@@ -79,6 +79,7 @@ type t = {
   remap_threshold : int option;
   remap_rng : Diva_util.Prng.t;
   placement_override : (int, int) Hashtbl.t;  (* state key -> mesh node *)
+  placement_cache : (int, int) Hashtbl.t;  (* state key -> default placement *)
   mutable remap_count : int;
   vars : (int, ctl) Hashtbl.t;
   states : (int, tstate) Hashtbl.t;  (* var_id * num_tree_nodes + tnode *)
@@ -100,6 +101,7 @@ let create net deco ~embedding ?capacity ?(combining = true) ?remap_threshold
     remap_threshold;
     remap_rng = Diva_util.Prng.split (Network.rng net);
     placement_override = Hashtbl.create 64;
+    placement_cache = Hashtbl.create 4096;
     remap_count = 0;
     vars = Hashtbl.create 1024;
     states = Hashtbl.create 4096;
@@ -115,16 +117,29 @@ let create net deco ~embedding ?capacity ?(combining = true) ?remap_threshold
 
 let key t var_id tnode = (var_id * t.deco.Deco.num_tree_nodes) + tnode
 
+(* Placement is consulted on every protocol message (twice per
+   [send_tree]), but [Embedding.place_lazy] recomputes the embedding rule
+   recursively from the tree root — for the regular rule that is one
+   coordinate-array round-trip per ancestor level, per call. Memoize the
+   (deterministic) default placement per state key; remapping overrides
+   still take precedence and are checked first. *)
 let place t (var : Types.var) tnode =
-  match Hashtbl.find_opt t.placement_override (key t var.Types.id tnode) with
-  | Some node -> node
-  | None -> Embedding.place_lazy t.embedding t.deco ~seed:var.Types.seed tnode
+  let k = key t var.Types.id tnode in
+  if Hashtbl.length t.placement_override > 0 && Hashtbl.mem t.placement_override k
+  then Hashtbl.find t.placement_override k
+  else
+    match Hashtbl.find t.placement_cache k with
+    | p -> p
+    | exception Not_found ->
+        let p = Embedding.place_lazy t.embedding t.deco ~seed:var.Types.seed tnode in
+        Hashtbl.add t.placement_cache k p;
+        p
 let leaf t p = t.deco.Deco.leaf_of_proc.(p)
 
 let get_ctl t (var : Types.var) =
-  match Hashtbl.find_opt t.vars var.Types.id with
-  | Some c -> c
-  | None ->
+  match Hashtbl.find t.vars var.Types.id with
+  | c -> c
+  | exception Not_found ->
       let c =
         { var; ncopies = 1; reading = 0; writing = false;
           pending = Queue.create (); wtxn = None; readers = Hashtbl.create 2;
@@ -135,9 +150,9 @@ let get_ctl t (var : Types.var) =
 
 let get_state t (ctl : ctl) tnode =
   let k = key t ctl.var.Types.id tnode in
-  match Hashtbl.find_opt t.states k with
-  | Some s -> s
-  | None ->
+  match Hashtbl.find t.states k with
+  | s -> s
+  | exception Not_found ->
       let owner_leaf = leaf t ctl.var.Types.owner in
       let is_home = tnode = owner_leaf in
       let toward =
@@ -618,9 +633,10 @@ let handle t (msg : Network.msg) =
   match msg.Network.m_payload with
   | At { var_id; from; tnode; body } ->
       let ctl =
-        match Hashtbl.find_opt t.vars var_id with
-        | Some c -> c
-        | None -> failwith "Access_tree.handle: message for unknown variable"
+        match Hashtbl.find t.vars var_id with
+        | c -> c
+        | exception Not_found ->
+            failwith "Access_tree.handle: message for unknown variable"
       in
       (match body with
       | Rreq { origin } -> on_rreq t ctl ~tnode ~origin

@@ -33,10 +33,10 @@ type direction = Higher_bad | Lower_bad | Exact
 let direction metric =
   match metric with
   | "dsm_read_hits" | "ops_per_sim_sec" | "goodput_per_s"
-  | "completed_in_horizon" ->
+  | "completed_in_horizon" | "events_per_sec" ->
       Lower_bad
   | "dsm_reads" | "ops" | "arrivals" | "completions" | "requests"
-  | "offered_per_s" ->
+  | "offered_per_s" | "events" ->
       Exact
   | _ -> Higher_bad
 
@@ -76,6 +76,13 @@ let default_tolerances =
     ("completed_in_horizon", 0.10);
     ("queue_hwm", 0.25);
     ("makespan_us", 0.10);
+    (* Event-loop throughput: the event count is deterministic and gates
+       exactly, but events/sec and wall-clock depend on the machine running
+       the gate, so their tolerances only catch order-of-magnitude
+       collapses (a 10x slowdown), not CI-runner jitter. *)
+    ("events", 0.0);
+    ("events_per_sec", 0.90);
+    ("wall_ms", 9.0);
   ]
 
 let number = function

@@ -87,6 +87,27 @@ let iter_route t ~src ~dst f =
     done
   done
 
+(* Same walk, but into a caller-provided buffer: the simulator's send path
+   iterates the links with a plain [for] loop afterwards, so the whole
+   route walk allocates nothing (no closure, no refs). *)
+let route_into t ~src ~dst buf =
+  let n = ref 0 in
+  let cur = ref src in
+  for dim = Array.length t.t_dims - 1 downto 0 do
+    let have = coord t !cur dim and want = coord t dst dim in
+    let sign = if want > have then 0 else 1 in
+    let delta = if sign = 0 then t.strides.(dim) else -t.strides.(dim) in
+    for _ = 1 to abs (want - have) do
+      buf.(!n) <- link_id t !cur dim sign;
+      incr n;
+      cur := !cur + delta
+    done
+  done;
+  !n
+
+let max_route_length t =
+  Array.fold_left (fun acc side -> acc + side - 1) 0 t.t_dims
+
 let route t ~src ~dst =
   let acc = ref [] in
   iter_route t ~src ~dst (fun l -> acc := l :: !acc);

@@ -61,5 +61,14 @@ val route : t -> src:node -> dst:node -> link list
 val iter_route : t -> src:node -> dst:node -> (link -> unit) -> unit
 (** Allocation-free traversal of the same path (the simulator's hot path). *)
 
+val route_into : t -> src:node -> dst:node -> link array -> int
+(** [route_into t ~src ~dst buf] writes the route's links into [buf]
+    (which must hold at least {!max_route_length} entries) and returns the
+    hop count. Fully allocation-free: the simulator's send path reads the
+    buffer back with a plain [for] loop instead of a closure per send. *)
+
+val max_route_length : t -> int
+(** Longest possible route: [sum (side - 1)] over all dimensions. *)
+
 val distance : t -> node -> node -> int
 (** Manhattan distance = length of [route]. *)

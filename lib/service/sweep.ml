@@ -25,11 +25,15 @@ type t = {
 let default_threshold = 0.95
 
 let run ?(threshold = default_threshold)
-    ?(faults = Diva_faults.Schedule.empty) ~dims ~strategy ~rates spec =
+    ?(faults = Diva_faults.Schedule.empty) ?(domains = 1) ~dims ~strategy
+    ~rates spec =
   if rates = [] then invalid_arg "Diva_service.Sweep.run: empty rate list";
   let rates = List.sort_uniq compare rates in
+  (* Each rate point is an independent open-loop run; Parallel.map keeps
+     the ascending-rate row order, so the sweep (knee included) is
+     identical for any [domains] value. *)
   let rows =
-    List.map
+    Diva_util.Parallel.map ~domains
       (fun rate ->
         let r =
           Engine.run

@@ -34,13 +34,16 @@ val default_threshold : float
 val run :
   ?threshold:float ->
   ?faults:Diva_faults.Schedule.t ->
+  ?domains:int ->
   dims:int array ->
   strategy:Diva_core.Dsm.strategy ->
   rates:float list ->
   Spec.t ->
   t
 (** Sorts and dedups [rates]; the spec's own [rate] field is overridden
-    point by point. Raises [Invalid_argument] on an empty rate list. *)
+    point by point. With [domains > 1] the independent rate points run on
+    that many OCaml domains; the result is identical for every [domains]
+    value. Raises [Invalid_argument] on an empty rate list. *)
 
 val to_json : params:(string * Diva_obs.Json.t) list -> t list -> Diva_obs.Json.t
 (** The machine-readable sweep table (schema [diva-service-sweep/1]),

@@ -7,11 +7,32 @@ module Faults = Diva_faults.Faults
 type payload = ..
 type payload += Empty
 
-type msg = { m_src : Mesh.node; m_dst : Mesh.node; m_size : int; m_payload : payload }
+type msg = {
+  m_src : Mesh.node;
+  m_dst : Mesh.node;
+  m_size : int;
+  m_tag : int;  (* selective-receive key; -1 = untagged *)
+  m_payload : payload;
+}
 
-type waiter = { w_filter : msg -> bool; w_resume : msg -> unit }
+(* A blocked receive. [W_tag]/[W_any] match structurally; [W_pred] runs an
+   arbitrary filter. Waiters are matched in registration (FIFO) order. *)
+type wkind = W_any | W_tag of int | W_pred of (msg -> bool)
+type waiter = { w_kind : wkind; w_resume : msg -> unit }
 
-type mailbox = { inbox : msg Queue.t (* oldest first *); mutable waiters : waiter list }
+(* Mailbox entry shared between the arrival-order queue and the per-tag
+   index. Consuming a message from either view marks the slot taken; the
+   other view drops taken slots lazily when they reach its front, so a
+   selective receive never rewrites queue contents (the old implementation
+   rotated the whole inbox through a scratch queue per filtered receive —
+   O(n) each; tagged receive is now O(1) amortized). *)
+type slot = { sl_msg : msg; mutable sl_taken : bool }
+
+type mailbox = {
+  inbox : slot Queue.t;  (* every arrival, oldest first *)
+  by_tag : (int, slot Queue.t) Hashtbl.t;  (* tagged arrivals only *)
+  mutable waiters : waiter list;
+}
 
 (* Reliable-delivery envelope, used only while a fault schedule is
    installed. Payloads are wrapped in [Env] and acknowledged with [Ack];
@@ -27,6 +48,7 @@ type pend = {
   p_src : Mesh.node;
   p_dst : Mesh.node;
   p_size : int;
+  p_tag : int;
   p_inner : payload;
   mutable p_attempt : int;
   mutable p_last_tx : float;  (* start of the most recent transmission *)
@@ -39,11 +61,23 @@ type reliable = {
   rl_seen : (int, unit) Hashtbl.t;  (* seqs already handed to a handler *)
 }
 
+(* All-float scratch record for the route walk. OCaml stores records whose
+   fields are all floats flat, so these are unboxed mutable slots: the old
+   per-send [float ref] accumulators boxed a fresh float on every hop.
+   Safe to share per network: the walk never re-enters [send]. *)
+type walk_scratch = {
+  mutable wk_arrival : float;
+  mutable wk_last_start : float;
+  mutable wk_last_occupancy : float;
+}
+
 type t = {
   sim : Sim.t;
   mesh : Mesh.t;
   machine : Machine.t;
   root_rng : Prng.t;
+  route_buf : int array;  (* scratch for [Mesh.route_into] on send paths *)
+  walk : walk_scratch;
   link_free : float array;
   stats : Link_stats.t;
   cpu_free : float array;
@@ -69,14 +103,32 @@ type t = {
   mutable next_level : int;  (* one-shot tree-level tag for the next send *)
 }
 
+let waiter_matches w msg =
+  match w.w_kind with
+  | W_any -> true
+  | W_tag k -> msg.m_tag = k
+  | W_pred f -> f msg
+
 let default_handler t msg =
   let mb = t.mailboxes.(msg.m_dst) in
   let rec try_waiters acc = function
     | [] ->
         mb.waiters <- List.rev acc;
-        Queue.add msg mb.inbox
+        let sl = { sl_msg = msg; sl_taken = false } in
+        Queue.add sl mb.inbox;
+        if msg.m_tag >= 0 then begin
+          let q =
+            match Hashtbl.find_opt mb.by_tag msg.m_tag with
+            | Some q -> q
+            | None ->
+                let q = Queue.create () in
+                Hashtbl.add mb.by_tag msg.m_tag q;
+                q
+          in
+          Queue.add sl q
+        end
     | w :: rest ->
-        if w.w_filter msg then begin
+        if waiter_matches w msg then begin
           mb.waiters <- List.rev_append acc rest;
           w.w_resume msg
         end
@@ -93,13 +145,17 @@ let create_nd ?(machine = Machine.gcel) ?(seed = 42) ~dims () =
     mesh;
     machine;
     root_rng = Prng.create ~seed;
+    route_buf = Array.make (max 1 (Mesh.max_route_length mesh)) 0;
+    walk = { wk_arrival = 0.0; wk_last_start = 0.0; wk_last_occupancy = 0.0 };
     link_free = Array.make nl 0.0;
     stats = Link_stats.create ~num_links:nl;
     cpu_free = Array.make n 0.0;
     pending_compute = Array.make n 0.0;
     node_compute = Array.make n 0.0;
     handlers = Array.make n default_handler;
-    mailboxes = Array.init n (fun _ -> { inbox = Queue.create (); waiters = [] });
+    mailboxes =
+      Array.init n (fun _ ->
+          { inbox = Queue.create (); by_tag = Hashtbl.create 4; waiters = [] });
     node_startup_count = Array.make n 0;
     startup_count = 0;
     fibers = 0;
@@ -148,15 +204,6 @@ let fresh_msg_id t =
   let id = t.next_msg_id in
   t.next_msg_id <- id + 1;
   id
-
-(* Run [f] with the causal context set to the delivered message; reset to
-   top level afterwards so context never leaks across event callbacks. *)
-let with_ctx t ~id ~txn f =
-  t.cur_msg <- id;
-  t.cur_txn <- txn;
-  f ();
-  t.cur_msg <- -1;
-  t.cur_txn <- -1
 
 let set_faults t f =
   (* Installing the empty schedule is a no-op: every query degenerates to
@@ -231,13 +278,32 @@ let reserve_cpu t node ~from dt =
   t.cpu_free.(node) <- fin;
   fin
 
+(* Packed argument for the delivery event. The hottest schedule site in the
+   simulator is "run this message's handler at time T with causal context
+   (id, txn)": scheduling it as [Sim.schedule_call run_dispatch dctx]
+   allocates one 4-word record instead of the two closure environments the
+   old [fun () -> with_ctx ... (fun () -> dispatch ...)] chain cost. *)
+type dctx = { dx_net : t; dx_msg : msg; dx_id : int; dx_txn : int }
+
 (* Schedules the handler and returns the time it runs, so the caller can
    record it in the delivery event. *)
 let rec deliver t msg ~id ~txn at =
   (* Receive overhead on the destination CPU, then the handler runs. *)
   let handle_at = reserve_cpu t msg.m_dst ~from:at t.machine.Machine.recv_overhead in
-  Sim.schedule t.sim handle_at (fun () -> with_ctx t ~id ~txn (fun () -> dispatch t msg));
+  Sim.schedule_call t.sim handle_at run_dispatch
+    { dx_net = t; dx_msg = msg; dx_id = id; dx_txn = txn };
   handle_at
+
+(* Static dispatch trampoline: set the causal context, run the envelope
+   layer / handler, reset. Equivalent to [with_ctx t (dispatch t msg)] but
+   shared by every delivery event instead of rebuilt per message. *)
+and run_dispatch dc =
+  let t = dc.dx_net in
+  t.cur_msg <- dc.dx_id;
+  t.cur_txn <- dc.dx_txn;
+  dispatch t dc.dx_msg;
+  t.cur_msg <- -1;
+  t.cur_txn <- -1
 
 (* Envelope layer between physical delivery and the node handler. Without
    installed faults this is exactly the legacy handler call. *)
@@ -259,7 +325,7 @@ and dispatch t msg =
           ignore
             (transmit t rel ~id:(-1) ~txn:t.cur_txn ~level:(-1)
                { m_src = msg.m_dst; m_dst = msg.m_src;
-                 m_size = Faults.ack_size; m_payload = Ack { seq } }
+                 m_size = Faults.ack_size; m_tag = -1; m_payload = Ack { seq } }
               : float * float);
           if not (Hashtbl.mem rel.rl_seen seq) then begin
             Hashtbl.add rel.rl_seen seq ();
@@ -311,43 +377,47 @@ and transmit ?inject t rel ~id ~txn ~level msg =
     (inject_at, inject_at)
   end
   else begin
-    let arrival = ref inject_at in
-    let last_start = ref inject_at in
-    let last_occupancy = ref 0.0 in
+    let hops = Mesh.route_into t.mesh ~src ~dst t.route_buf in
+    let wk = t.walk in
+    wk.wk_arrival <- inject_at;
+    wk.wk_last_start <- inject_at;
+    wk.wk_last_occupancy <- 0.0;
     let lost_at = ref None in
-    Mesh.iter_route t.mesh ~src ~dst (fun link ->
-        if !lost_at = None then begin
-          let start = Float.max !arrival t.link_free.(link) in
-          if Faults.link_down f ~link ~now:start then begin
-            lost_at := Some start;
-            Faults.count_lost f Trace.Loss_link_down;
-            if Trace.enabled t.trace then
-              Trace.emit t.trace
-                (Trace.Msg_lost
-                   { ts = start; msg = id; txn; src; dst; size;
-                     reason = Trace.Loss_link_down })
-          end
-          else begin
-            let occupancy =
-              Machine.transfer_time t.machine size
-              *. Faults.link_factor f ~link ~now:start
-            in
-            t.link_free.(link) <- start +. occupancy;
-            Link_stats.record t.stats ~link ~bytes:size;
-            if Trace.enabled t.trace then
-              Trace.emit t.trace
-                (Trace.Link_xfer
-                   { start; finish = start +. occupancy; link; msg = id; txn;
-                     level; src; dst; size });
-            last_start := start;
-            last_occupancy := occupancy;
-            arrival := start +. t.machine.Machine.hop_latency
-          end
-        end);
+    let h = ref 0 in
+    while !lost_at = None && !h < hops do
+      let link = t.route_buf.(!h) in
+      incr h;
+      let start = Float.max wk.wk_arrival t.link_free.(link) in
+      if Faults.link_down f ~link ~now:start then begin
+        lost_at := Some start;
+        Faults.count_lost f Trace.Loss_link_down;
+        if Trace.enabled t.trace then
+          Trace.emit t.trace
+            (Trace.Msg_lost
+               { ts = start; msg = id; txn; src; dst; size;
+                 reason = Trace.Loss_link_down })
+      end
+      else begin
+        let occupancy =
+          Machine.transfer_time t.machine size
+          *. Faults.link_factor f ~link ~now:start
+        in
+        t.link_free.(link) <- start +. occupancy;
+        Link_stats.record t.stats ~link ~bytes:size;
+        if Trace.enabled t.trace then
+          Trace.emit t.trace
+            (Trace.Link_xfer
+               { start; finish = start +. occupancy; link; msg = id; txn;
+                 level; src; dst; size });
+        wk.wk_last_start <- start;
+        wk.wk_last_occupancy <- occupancy;
+        wk.wk_arrival <- start +. t.machine.Machine.hop_latency
+      end
+    done;
     match !lost_at with
     | Some ts -> (inject_at, ts)
     | None ->
-        let delivered_at = !last_start +. !last_occupancy in
+        let delivered_at = wk.wk_last_start +. wk.wk_last_occupancy in
         if Faults.crashed f ~node:dst ~now:delivered_at then begin
           Faults.count_lost f Trace.Loss_crashed;
           if Trace.enabled t.trace then
@@ -361,8 +431,8 @@ and transmit ?inject t rel ~id ~txn ~level msg =
             if is_ack then begin
               (* Hardware-level control message: no receive overhead, the
                  envelope layer consumes it at arrival time. *)
-              Sim.schedule t.sim delivered_at (fun () ->
-                  with_ctx t ~id ~txn (fun () -> dispatch t msg));
+              Sim.schedule_call t.sim delivered_at run_dispatch
+                { dx_net = t; dx_msg = msg; dx_id = id; dx_txn = txn };
               delivered_at
             end
             else deliver t msg ~id ~txn delivered_at
@@ -397,13 +467,15 @@ and retransmit t rel seq p =
            dst = p.p_dst; size = p.p_size; attempt = p.p_attempt });
   let _, outcome =
     transmit t rel ~id:p.p_id ~txn:p.p_txn ~level:p.p_level
-      { m_src = p.p_src; m_dst = p.p_dst; m_size = p.p_size;
+      { m_src = p.p_src; m_dst = p.p_dst; m_size = p.p_size; m_tag = p.p_tag;
         m_payload = Env { seq; inner = p.p_inner } }
   in
   arm_timeout t rel seq p ~from:outcome
 
-let send t ~src ~dst ~size payload =
-  let msg = { m_src = src; m_dst = dst; m_size = size; m_payload = payload } in
+let send t ?(tag = -1) ~src ~dst ~size payload =
+  let msg =
+    { m_src = src; m_dst = dst; m_size = size; m_tag = tag; m_payload = payload }
+  in
   let id = fresh_msg_id t in
   let txn = t.cur_txn and parent = t.cur_msg and level = t.next_level in
   t.next_level <- -1;
@@ -416,8 +488,11 @@ let send t ~src ~dst ~size payload =
         (Trace.Msg_send
            { ts = t0; id; parent; txn; inject = at; level; src; dst; size;
              local = true });
-    Sim.schedule t.sim at (fun () ->
-        with_ctx t ~id ~txn (fun () -> t.handlers.(dst) t msg))
+    (* [run_dispatch] rather than a direct handler call: application
+       payloads never match the (private) envelope constructors, so the
+       envelope layer is a no-op for local messages. *)
+    Sim.schedule_call t.sim at run_dispatch
+      { dx_net = t; dx_msg = msg; dx_id = id; dx_txn = txn }
   end
   else
     match t.rel with
@@ -426,7 +501,7 @@ let send t ~src ~dst ~size payload =
         rel.rl_next_seq <- seq + 1;
         Faults.count_enveloped rel.rl_faults;
         let p = { p_id = id; p_txn = txn; p_level = level; p_src = src;
-                  p_dst = dst; p_size = size; p_inner = payload;
+                  p_dst = dst; p_size = size; p_tag = tag; p_inner = payload;
                   p_attempt = 0; p_last_tx = t0 } in
         Hashtbl.add rel.rl_pending seq p;
         (* Reserve the CPU here so [Msg_send] can be emitted before the
@@ -460,21 +535,27 @@ let send t ~src ~dst ~size payload =
         let occupancy = Machine.transfer_time t.machine size in
         (* Eager wormhole approximation: the header advances hop by hop, each
            link is occupied for the full transfer time, the tail leaves the last
-           link [occupancy] after the header entered it. *)
-        let arrival = ref inject_at in
-        let last_start = ref inject_at in
-        Mesh.iter_route t.mesh ~src ~dst (fun link ->
-            let start = Float.max !arrival t.link_free.(link) in
-            t.link_free.(link) <- start +. occupancy;
-            Link_stats.record t.stats ~link ~bytes:size;
-            if Trace.enabled t.trace then
-              Trace.emit t.trace
-                (Trace.Link_xfer
-                   { start; finish = start +. occupancy; link; msg = id; txn;
-                     level; src; dst; size });
-            last_start := start;
-            arrival := start +. t.machine.Machine.hop_latency);
-        let delivered_at = !last_start +. occupancy in
+           link [occupancy] after the header entered it. The route is walked
+           out of a preallocated buffer with unboxed float accumulators, so
+           the whole walk allocates nothing. *)
+        let hops = Mesh.route_into t.mesh ~src ~dst t.route_buf in
+        let wk = t.walk in
+        wk.wk_arrival <- inject_at;
+        wk.wk_last_start <- inject_at;
+        for h = 0 to hops - 1 do
+          let link = t.route_buf.(h) in
+          let start = Float.max wk.wk_arrival t.link_free.(link) in
+          t.link_free.(link) <- start +. occupancy;
+          Link_stats.record t.stats ~link ~bytes:size;
+          if Trace.enabled t.trace then
+            Trace.emit t.trace
+              (Trace.Link_xfer
+                 { start; finish = start +. occupancy; link; msg = id; txn;
+                   level; src; dst; size });
+          wk.wk_last_start <- start;
+          wk.wk_arrival <- start +. t.machine.Machine.hop_latency
+        done;
+        let delivered_at = wk.wk_last_start +. occupancy in
         let handled = deliver t msg ~id ~txn delivered_at in
         if Trace.enabled t.trace then
           Trace.emit t.trace
@@ -554,27 +635,63 @@ let charge t node dt =
 let flush_charge t node =
   if t.pending_compute.(node) > 0.0 then compute t node 0.0
 
-let recv t node ?(where = fun _ -> true) () =
-  let mb = t.mailboxes.(node) in
-  (* Remove the oldest matching message. The common case (unfiltered recv)
-     matches the queue head immediately; a filtered miss rotates the
-     scanned prefix through a scratch queue, preserving FIFO order. *)
-  let remove_first () =
-    let scanned = Queue.create () in
-    let found = ref None in
-    while !found = None && not (Queue.is_empty mb.inbox) do
-      let m = Queue.pop mb.inbox in
-      if where m then found := Some m else Queue.add m scanned
-    done;
-    Queue.transfer mb.inbox scanned;
-    Queue.transfer scanned mb.inbox;
-    !found
+(* Drop taken slots (consumed through the other view) off the queue front,
+   then pop the first live one. Each slot is popped at most twice across
+   both views, so the lazy deletion is O(1) amortized. *)
+let pop_live q =
+  let rec go () =
+    match Queue.peek_opt q with
+    | None -> None
+    | Some sl ->
+        ignore (Queue.pop q : slot);
+        if sl.sl_taken then go ()
+        else begin
+          sl.sl_taken <- true;
+          Some sl.sl_msg
+        end
   in
-  match remove_first () with
+  go ()
+
+exception Found of msg
+
+let recv t node ?where ?tag () =
+  let mb = t.mailboxes.(node) in
+  let take () =
+    match (where, tag) with
+    | Some _, Some _ -> invalid_arg "Network.recv: ~where and ~tag are exclusive"
+    | None, Some k -> (
+        (* O(1) amortized: oldest message with this tag, straight off the
+           tag queue's front. *)
+        match Hashtbl.find_opt mb.by_tag k with
+        | None -> None
+        | Some q -> pop_live q)
+    | None, None -> pop_live mb.inbox
+    | Some f, None -> (
+        (* Arbitrary predicate: scan arrival order, but consume in place by
+           marking the slot taken — no drain-and-requeue rotation. *)
+        try
+          Queue.iter
+            (fun sl ->
+              if (not sl.sl_taken) && f sl.sl_msg then begin
+                sl.sl_taken <- true;
+                raise (Found sl.sl_msg)
+              end)
+            mb.inbox;
+          None
+        with Found m -> Some m)
+  in
+  match take () with
   | Some m -> m
   | None ->
+      let kind =
+        match (where, tag) with
+        | None, Some k -> W_tag k
+        | Some f, None -> W_pred f
+        | None, None -> W_any
+        | Some _, Some _ -> assert false
+      in
       suspend (fun resume ->
-          mb.waiters <- mb.waiters @ [ { w_filter = where; w_resume = resume } ])
+          mb.waiters <- mb.waiters @ [ { w_kind = kind; w_resume = resume } ])
 
 let mailbox_deliver t msg = default_handler t msg
 

@@ -19,7 +19,13 @@ type payload = ..
 
 type payload += Empty
 
-type msg = { m_src : Diva_mesh.Mesh.node; m_dst : Diva_mesh.Mesh.node; m_size : int; m_payload : payload }
+type msg = {
+  m_src : Diva_mesh.Mesh.node;
+  m_dst : Diva_mesh.Mesh.node;
+  m_size : int;
+  m_tag : int;  (** selective-receive key set by [send ~tag]; [-1] = untagged *)
+  m_payload : payload;
+}
 
 type t
 
@@ -40,18 +46,34 @@ val num_nodes : t -> int
 
 (** {2 Messaging} *)
 
-val send : t -> src:Diva_mesh.Mesh.node -> dst:Diva_mesh.Mesh.node -> size:int -> payload -> unit
+val send :
+  t ->
+  ?tag:int ->
+  src:Diva_mesh.Mesh.node ->
+  dst:Diva_mesh.Mesh.node ->
+  size:int ->
+  payload ->
+  unit
 (** Asynchronous send; charges the sender's CPU with the startup overhead,
     routes the message, charges the receiver's overhead, then invokes the
-    destination handler. Callable from fibers and handlers alike. *)
+    destination handler. Callable from fibers and handlers alike. [tag]
+    (default [-1], untagged; tags must be [>= 0]) keys the receiver's
+    selective receive — see {!recv}. Tags survive the reliable-delivery
+    envelope under fault injection. *)
 
 val set_handler : t -> Diva_mesh.Mesh.node -> (t -> msg -> unit) -> unit
 (** Replace the node's message handler. The default handler enqueues into
     the node's mailbox (see {!recv}). *)
 
-val recv : t -> Diva_mesh.Mesh.node -> ?where:(msg -> bool) -> unit -> msg
+val recv :
+  t -> Diva_mesh.Mesh.node -> ?where:(msg -> bool) -> ?tag:int -> unit -> msg
 (** Blocking receive from the node's mailbox (fiber context only; requires
-    the default handler). Returns the oldest matching message. *)
+    the default handler). Returns the oldest matching message.
+    [~tag:k] matches messages sent with [send ~tag:k] and is O(1)
+    amortized (per-tag index); [~where] scans arrival order with an
+    arbitrary predicate. The two are mutually exclusive
+    ([Invalid_argument] otherwise); with neither, the oldest message of
+    any kind is returned. *)
 
 val mailbox_deliver : t -> msg -> unit
 (** The default handler: enqueue into the destination's mailbox. Custom

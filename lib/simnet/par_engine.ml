@@ -1,0 +1,223 @@
+(* Conservative, windowed, domain-sharded discrete-event engine.
+
+   The model is partitioned into a FIXED number of logical shards chosen by
+   the model builder (e.g. one per mesh row), independent of how many
+   domains execute them — that independence is what makes results
+   bit-identical for every domain count. Each shard owns a serial event
+   queue and clock. Cross-shard interactions must respect a minimum
+   latency, the [lookahead]: an event posted from shard A at time [t] into
+   shard B carries a timestamp [>= t + lookahead].
+
+   Execution proceeds in global time windows of width [lookahead]. The
+   window [w, w + lookahead) starts at the global minimum pending
+   timestamp [w], so gaps in the timeline are skipped in one hop. Within a
+   window every shard processes its local events with [t < w + lookahead]
+   strictly in (time, seq) order; any event those executions post across
+   shards lands at [t' >= t + lookahead >= w + lookahead], i.e. beyond the
+   window, so no shard can receive work for a window it is currently
+   executing — the classical conservative-synchronization argument, with
+   the window doubling as the barrier period.
+
+   Cross-shard posts are buffered in per-(src, dst) outboxes. At the
+   barrier after each window, every shard drains the outboxes addressed to
+   it in ascending source-shard order, each in FIFO order, into its local
+   queue. Both the drain order and the serial in-window execution are
+   functions of shard state alone, never of the domain layout or of OS
+   scheduling, so a run with [--domains 8] produces byte-identical results
+   to [--domains 1]. Domains only decide which OS thread happens to
+   execute a given shard's (deterministic) work.
+
+   The barrier itself is a sense-reversing mutex/condvar barrier crossed
+   twice per window: once so every outbox is complete before drains begin,
+   once so every drain is complete before the next window's execution (the
+   last domain to arrive at the second crossing also computes the next
+   window start, or signals termination when all queues are empty). *)
+
+module Heap = Diva_util.Event_queue
+
+type 'a shard = {
+  s_id : int;
+  s_queue : 'a Heap.t;
+  mutable s_clock : float;
+  mutable s_executed : int;
+  s_outboxes : (float * 'a) Queue.t array; (* indexed by destination shard *)
+}
+
+type 'a t = {
+  shards : 'a shard array;
+  lookahead : float;
+}
+
+type 'a ctx = { c_eng : 'a t; c_shard : 'a shard }
+
+let create ~shards ~lookahead =
+  if shards < 1 then invalid_arg "Par_engine.create: shards must be >= 1";
+  if not (lookahead > 0.0) then
+    invalid_arg "Par_engine.create: lookahead must be > 0";
+  {
+    shards =
+      Array.init shards (fun i ->
+          {
+            s_id = i;
+            s_queue = Heap.create ();
+            s_clock = 0.0;
+            s_executed = 0;
+            s_outboxes = Array.init shards (fun _ -> Queue.create ());
+          });
+    lookahead;
+  }
+
+let num_shards t = Array.length t.shards
+let lookahead t = t.lookahead
+
+let schedule_init t ~shard ~at msg =
+  if shard < 0 || shard >= Array.length t.shards then
+    invalid_arg "Par_engine.schedule_init: bad shard";
+  if not (at >= 0.0) then invalid_arg "Par_engine.schedule_init: bad time";
+  Heap.insert t.shards.(shard).s_queue at msg
+
+let events_executed t =
+  Array.fold_left (fun acc s -> acc + s.s_executed) 0 t.shards
+
+let ctx_shard c = c.c_shard.s_id
+let ctx_now c = c.c_shard.s_clock
+let ctx_num_shards c = num_shards c.c_eng
+
+let ctx_schedule c ~at msg =
+  if not (at >= c.c_shard.s_clock) then
+    invalid_arg "Par_engine.ctx_schedule: time is in the past";
+  Heap.insert c.c_shard.s_queue at msg
+
+let ctx_post c ~dst ~at msg =
+  if dst < 0 || dst >= num_shards c.c_eng then
+    invalid_arg "Par_engine.ctx_post: bad destination shard"
+  else if dst = c.c_shard.s_id then ctx_schedule c ~at msg
+  else if at < c.c_shard.s_clock +. c.c_eng.lookahead then
+    invalid_arg
+      "Par_engine.ctx_post: cross-shard event closer than the lookahead"
+  else Queue.push (at, msg) c.c_shard.s_outboxes.(dst)
+
+(* ------------------------------------------------------------------ *)
+
+(* Sense-reversing barrier. [cross b f] blocks until all parties arrive;
+   the LAST arriver runs [f ()] (while holding the lock) before releasing
+   everyone — that is where the global reduction for the next window
+   lives. *)
+type barrier = {
+  b_mutex : Mutex.t;
+  b_cond : Condition.t;
+  b_parties : int;
+  mutable b_waiting : int;
+  mutable b_sense : bool;
+}
+
+let barrier_create parties =
+  {
+    b_mutex = Mutex.create ();
+    b_cond = Condition.create ();
+    b_parties = parties;
+    b_waiting = 0;
+    b_sense = false;
+  }
+
+let cross b f =
+  Mutex.lock b.b_mutex;
+  let sense = b.b_sense in
+  b.b_waiting <- b.b_waiting + 1;
+  if b.b_waiting = b.b_parties then begin
+    f ();
+    b.b_waiting <- 0;
+    b.b_sense <- not sense;
+    Condition.broadcast b.b_cond
+  end
+  else
+    while b.b_sense = sense do
+      Condition.wait b.b_cond b.b_mutex
+    done;
+  Mutex.unlock b.b_mutex
+
+let min_pending t =
+  Array.fold_left
+    (fun acc s ->
+      match Heap.min_priority s.s_queue with
+      | Some p -> Float.min acc p
+      | None -> acc)
+    Float.infinity t.shards
+
+let run ?(domains = 1) t ~handler =
+  let s = Array.length t.shards in
+  let domains = max 1 (min domains s) in
+  (* Contiguous shard blocks per domain, first blocks one larger. *)
+  let base = s / domains and extra = s mod domains in
+  let lo d = (d * base) + min d extra in
+  let hi d = lo (d + 1) in
+  let barrier = barrier_create domains in
+  let window_end = ref Float.infinity in
+  let finished = ref false in
+  (* First handler exception wins; the failing domain keeps crossing
+     barriers (processing nothing) so nobody deadlocks, and the exception
+     is re-raised on the calling domain after all joins. *)
+  let error : exn option ref = ref None in
+  let record e =
+    Mutex.lock barrier.b_mutex;
+    if !error = None then error := Some e;
+    Mutex.unlock barrier.b_mutex
+  in
+  (let w0 = min_pending t in
+   if w0 = Float.infinity then finished := true
+   else window_end := w0 +. t.lookahead);
+  let drain shard =
+    Array.iter
+      (fun src ->
+        let ob = src.s_outboxes.(shard.s_id) in
+        while not (Queue.is_empty ob) do
+          let at, msg = Queue.pop ob in
+          Heap.insert shard.s_queue at msg
+        done)
+      t.shards
+  in
+  let worker d () =
+    while not !finished do
+      let w_end = !window_end in
+      (try
+         for i = lo d to hi d - 1 do
+           let shard = t.shards.(i) in
+           let ctx = { c_eng = t; c_shard = shard } in
+           let continue = ref true in
+           while !continue do
+             if Heap.is_empty shard.s_queue then continue := false
+             else
+               let at = Heap.min_priority_exn shard.s_queue in
+               if at >= w_end then continue := false
+               else begin
+                 let msg = Heap.pop_exn shard.s_queue in
+                 shard.s_clock <- at;
+                 shard.s_executed <- shard.s_executed + 1;
+                 handler ctx msg
+               end
+           done
+         done
+       with e -> record e);
+      (* All outboxes for this window are complete. *)
+      cross barrier (fun () -> ());
+      for i = lo d to hi d - 1 do
+        drain t.shards.(i)
+      done;
+      (* All drains are complete; the last domain picks the next window. *)
+      cross barrier (fun () ->
+          if !error <> None then finished := true
+          else
+            let m = min_pending t in
+            if m = Float.infinity then finished := true
+            else window_end := Float.max (m +. t.lookahead) !window_end)
+    done
+  in
+  if domains = 1 then worker 0 ()
+  else begin
+    let spawned =
+      List.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
+    in
+    worker 0 ();
+    List.iter Domain.join spawned
+  end;
+  match !error with Some e -> raise e | None -> ()

@@ -1,7 +1,14 @@
 module Heap = Diva_util.Event_queue
 
+(* An event is either a plain thunk or a packed (function, argument) pair.
+   The packed form lets hot schedule sites (message delivery in [Network])
+   pass one statically-allocated function plus a small argument record
+   instead of building a fresh closure chain per event: the closure's
+   environment becomes an explicit record the caller can size exactly. *)
+type event = Fn of (unit -> unit) | Call : ('a -> unit) * 'a -> event
+
 type t = {
-  queue : (unit -> unit) Heap.t;
+  queue : event Heap.t;
   mutable clock : float;
   mutable executed : int;
   mutable advance_hook : (float -> float -> unit) option;
@@ -13,26 +20,35 @@ let create () =
 let set_advance_hook t f = t.advance_hook <- Some f
 let now t = t.clock
 
-let schedule t at f =
+let check_future t at =
   if at < t.clock -. 1e-9 then
     invalid_arg
-      (Printf.sprintf "Sim.schedule: %.3f is in the past (now = %.3f)" at t.clock);
-  Heap.insert t.queue (Float.max at t.clock) f
+      (Printf.sprintf "Sim.schedule: %.3f is in the past (now = %.3f)" at
+         t.clock)
 
-let schedule_now t f = Heap.insert t.queue t.clock f
+let schedule t at f =
+  check_future t at;
+  Heap.insert t.queue (Float.max at t.clock) (Fn f)
+
+let schedule_now t f = Heap.insert t.queue t.clock (Fn f)
+
+let schedule_call t at f x =
+  check_future t at;
+  Heap.insert t.queue (Float.max at t.clock) (Call (f, x))
+
+let schedule_call_now t f x = Heap.insert t.queue t.clock (Call (f, x))
 
 let run t =
-  let continue = ref true in
-  while !continue do
-    match Heap.pop_min t.queue with
-    | None -> continue := false
-    | Some (at, f) ->
-        (match t.advance_hook with
-        | Some h when at > t.clock -> h t.clock at
-        | _ -> ());
-        t.clock <- at;
-        t.executed <- t.executed + 1;
-        f ()
+  while not (Heap.is_empty t.queue) do
+    let at = Heap.min_priority_exn t.queue in
+    let ev = Heap.pop_exn t.queue in
+    (match t.advance_hook with
+    | Some h when at > t.clock -> h t.clock at
+    | _ -> ());
+    t.clock <- at;
+    t.executed <- t.executed + 1;
+    match ev with Fn f -> f () | Call (f, x) -> f x
   done
 
 let events_executed t = t.executed
+let pending t = Heap.size t.queue

@@ -15,6 +15,14 @@ val schedule : t -> float -> (unit -> unit) -> unit
 
 val schedule_now : t -> (unit -> unit) -> unit
 
+val schedule_call : t -> float -> ('a -> unit) -> 'a -> unit
+(** [schedule_call t at f x] runs [f x] at simulated time [at]. Equivalent
+    to [schedule t at (fun () -> f x)] but avoids allocating a closure when
+    [f] is a statically-known function: hot schedule sites pass one shared
+    function plus a packed argument instead of a fresh environment. *)
+
+val schedule_call_now : t -> ('a -> unit) -> 'a -> unit
+
 val run : t -> unit
 (** Execute events until the queue is empty. *)
 
@@ -26,3 +34,6 @@ val set_advance_hook : t -> (float -> float -> unit) -> unit
     is indistinguishable from a bare one. Used by the metrics sampler. *)
 
 val events_executed : t -> int
+
+val pending : t -> int
+(** Number of events still queued. *)

@@ -1,0 +1,51 @@
+(* Deterministic fork/join over OCaml 5 domains.
+
+   The work list is split into [domains] contiguous chunks; each chunk is
+   mapped in order inside one spawned domain, and the results are
+   reassembled in the original order, so the output is identical to
+   [List.map f xs] regardless of domain count or scheduling. Exceptions
+   propagate: if any chunk raises, the first (by chunk index) exception is
+   re-raised after every domain has been joined, so no domain is leaked.
+
+   This is deliberately a one-shot pool, not a work-stealing scheduler:
+   the repo's uses are run-level parallelism (chaos campaigns, rate
+   sweeps, shard fan-out) where each work item is seconds of simulation
+   and chunk imbalance is noise. *)
+
+let chunks n xs =
+  let len = List.length xs in
+  let base = len / n and extra = len mod n in
+  let rec take k xs =
+    if k = 0 then ([], xs)
+    else
+      match xs with
+      | [] -> ([], [])
+      | x :: tl ->
+          let got, rest = take (k - 1) tl in
+          (x :: got, rest)
+  in
+  let rec split i xs =
+    if i = n then []
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let got, rest = take size xs in
+      got :: split (i + 1) rest
+  in
+  split 0 xs
+
+let map ?(domains = 1) f xs =
+  if domains <= 1 || List.length xs <= 1 then List.map f xs
+  else
+    let parts = chunks (min domains (List.length xs)) xs in
+    let run part = List.map (fun x -> try Ok (f x) with e -> Error e) part in
+    (* The first chunk runs on the calling domain: [domains] means total
+       parallelism, not extra helper threads. *)
+    match parts with
+    | [] -> []
+    | first :: rest ->
+        let handles = List.map (fun p -> Domain.spawn (fun () -> run p)) rest in
+        let r0 = run first in
+        let results = r0 :: List.map Domain.join handles in
+        List.concat_map
+          (List.map (function Ok y -> y | Error e -> raise e))
+          results

@@ -89,54 +89,72 @@ let same_run a b =
   && a.rs_retransmits = b.rs_retransmits
   && a.rs_reissues = b.rs_reissues && a.rs_ops = b.rs_ops
 
-let run ?(progress = fun _ -> ()) cfg =
+let progress_line o =
+  Printf.sprintf
+    "schedule %2d [%s] x %-10s  %5d ops  %3d lost  %4d retx  oracle %s%s"
+    o.index (Schedule.describe o.schedule) o.strategy o.ops_checked o.lost
+    o.retransmits
+    (match o.oracle_error with None -> "ok" | Some _ -> "VIOLATION")
+    (match o.deterministic with
+    | Some true -> ", deterministic"
+    | Some false -> ", NON-DETERMINISTIC"
+    | None -> "")
+
+let run ?(progress = fun _ -> ()) ?(domains = 1) cfg =
   if cfg.schedules <= 0 then
     invalid_arg "Chaos.run: schedule count must be positive";
   let mesh = Mesh.create_nd ~dims:cfg.dims in
   let num_nodes = Mesh.num_nodes mesh and num_links = Mesh.num_links mesh in
-  let outcomes = ref [] in
-  for i = 0 to cfg.schedules - 1 do
-    let sched =
-      Schedule.generate ~seed:(cfg.seed + i) ~num_nodes ~num_links ()
+  (* The campaign is a flat list of (schedule x strategy) runs, each fully
+     self-contained (own network, DSM, PRNG streams), so it parallelizes at
+     run granularity. Diva_util.Parallel.map preserves list order, hence
+     the outcome list — and every manifest derived from it — is identical
+     for any [domains] value. *)
+  let items =
+    List.concat_map
+      (fun i ->
+        let sched =
+          Schedule.generate ~seed:(cfg.seed + i) ~num_nodes ~num_links ()
+        in
+        List.map (fun (sname, strategy) -> (i, sched, sname, strategy))
+          strategies)
+      (List.init cfg.schedules Fun.id)
+  in
+  let eval (i, sched, sname, strategy) =
+    let s = one_run cfg sched strategy in
+    let deterministic =
+      if cfg.verify_determinism then
+        Some (same_run s (one_run cfg sched strategy))
+      else None
     in
-    List.iter
-      (fun (sname, strategy) ->
-        let s = one_run cfg sched strategy in
-        let deterministic =
-          if cfg.verify_determinism then
-            Some (same_run s (one_run cfg sched strategy))
-          else None
-        in
-        let o =
-          {
-            index = i;
-            schedule = sched;
-            strategy = sname;
-            time = s.rs_m.Runner.time;
-            ops_checked = s.rs_ops;
-            lost = s.rs_lost;
-            retransmits = s.rs_retransmits;
-            reissues = s.rs_reissues;
-            oracle_error =
-              (match s.rs_oracle with Ok () -> None | Error e -> Some e);
-            deterministic;
-          }
-        in
-        progress
-          (Printf.sprintf
-             "schedule %2d [%s] x %-10s  %5d ops  %3d lost  %4d retx  \
-              oracle %s%s"
-             i (Schedule.describe sched) sname o.ops_checked o.lost
-             o.retransmits
-             (match o.oracle_error with None -> "ok" | Some _ -> "VIOLATION")
-             (match deterministic with
-             | Some true -> ", deterministic"
-             | Some false -> ", NON-DETERMINISTIC"
-             | None -> ""));
-        outcomes := o :: !outcomes)
-      strategies
-  done;
-  List.rev !outcomes
+    {
+      index = i;
+      schedule = sched;
+      strategy = sname;
+      time = s.rs_m.Runner.time;
+      ops_checked = s.rs_ops;
+      lost = s.rs_lost;
+      retransmits = s.rs_retransmits;
+      reissues = s.rs_reissues;
+      oracle_error =
+        (match s.rs_oracle with Ok () -> None | Error e -> Some e);
+      deterministic;
+    }
+  in
+  if domains <= 1 then
+    List.map
+      (fun it ->
+        let o = eval it in
+        progress (progress_line o);
+        o)
+      items
+  else begin
+    (* Worker domains must not interleave writes into [progress]; emit the
+       (identical) lines once the campaign is complete. *)
+    let outcomes = Diva_util.Parallel.map ~domains eval items in
+    List.iter (fun o -> progress (progress_line o)) outcomes;
+    outcomes
+  end
 
 let passed outcomes =
   List.for_all

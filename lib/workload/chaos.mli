@@ -39,10 +39,14 @@ type outcome = {
   deterministic : bool option;  (** [None] when verification was off *)
 }
 
-val run : ?progress:(string -> unit) -> config -> outcome list
+val run : ?progress:(string -> unit) -> ?domains:int -> config -> outcome list
 (** Execute the campaign; [progress] receives one human-readable line per
-    completed run. Raises [Invalid_argument] on a non-positive
-    [schedules] count. *)
+    completed run. With [domains > 1] the independent (schedule x
+    strategy) runs execute on that many OCaml domains; the outcome list
+    (and any manifest derived from it) is identical for every [domains]
+    value — only wall-clock changes. Progress lines are then emitted after
+    the campaign instead of live, so they never interleave. Raises
+    [Invalid_argument] on a non-positive [schedules] count. *)
 
 val passed : outcome list -> bool
 (** No oracle violation and no determinism failure in any run. *)

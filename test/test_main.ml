@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("mesh", Test_mesh.suite);
       ("simnet", Test_simnet.suite);
+      ("par", Test_par.suite);
       ("dsm", Test_dsm.suite);
       ("apps", Test_apps.suite);
       ("invariants", Test_invariants.suite);

@@ -1,0 +1,181 @@
+(* Domain-sharded engine: determinism across domain counts is the whole
+   contract, so every test here compares runs at several [domains] values
+   (byte-for-byte via rendered reports or structural equality) rather than
+   asserting absolute numbers. The sandbox may have a single core — these
+   tests verify determinism, not speedup. *)
+
+module Par_engine = Diva_simnet.Par_engine
+module Traffic = Diva_simnet.Traffic
+module Parallel = Diva_util.Parallel
+module Chaos = Diva_workload.Chaos
+
+(* --- Parallel.map ---------------------------------------------------- *)
+
+let test_parallel_map_order () =
+  let xs = List.init 57 Fun.id in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "map x2, %d domains" domains)
+        (List.map (fun x -> 2 * x) xs)
+        (Parallel.map ~domains (fun x -> 2 * x) xs))
+    [ 1; 2; 4; 8; 100 ];
+  Alcotest.(check (list int)) "empty list" [] (Parallel.map ~domains:4 Fun.id [])
+
+exception Boom of int
+
+let test_parallel_map_exception () =
+  match
+    Parallel.map ~domains:4
+      (fun x -> if x mod 10 = 3 then raise (Boom x) else x)
+      (List.init 40 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Boom x ->
+      (* Earliest failing element wins, regardless of which domain hit
+         its failure first. *)
+      Alcotest.(check int) "earliest exception" 3 x
+
+(* --- Par_engine ------------------------------------------------------ *)
+
+(* A ring of shards passing counters around: each event at shard s hops to
+   shard (s+1) mod n after exactly the lookahead, decrementing a TTL, and
+   every execution appends to a per-shard log. The merged log (shard
+   order) must be identical for every domain count. *)
+let ring_run ~domains ~shards =
+  let logs = Array.make shards [] in
+  let eng = Par_engine.create ~shards ~lookahead:1.0 in
+  for i = 0 to shards - 1 do
+    Par_engine.schedule_init eng ~shard:i ~at:(0.1 *. float_of_int i)
+      (100 + i)
+  done;
+  Par_engine.run ~domains eng ~handler:(fun ctx ttl ->
+      let s = Par_engine.ctx_shard ctx in
+      logs.(s) <- (Par_engine.ctx_now ctx, ttl) :: logs.(s);
+      if ttl > 0 then
+        Par_engine.ctx_post ctx
+          ~dst:((s + 1) mod Par_engine.ctx_num_shards ctx)
+          ~at:(Par_engine.ctx_now ctx +. 1.0)
+          (ttl - 1));
+  (Array.to_list (Array.map List.rev logs), Par_engine.events_executed eng)
+
+let test_par_engine_ring_identical () =
+  let reference = ring_run ~domains:1 ~shards:7 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d domains = serial" domains)
+        true
+        (ring_run ~domains ~shards:7 = reference))
+    [ 2; 3; 4; 8 ];
+  let _, events = reference in
+  (* 7 seeds, each with TTLs 100..106: total executions = sum (ttl + 1). *)
+  Alcotest.(check int) "event count" (7 * 101 + (0 + 1 + 2 + 3 + 4 + 5 + 6))
+    events
+
+let test_par_engine_lookahead_enforced () =
+  let eng = Par_engine.create ~shards:2 ~lookahead:5.0 in
+  Par_engine.schedule_init eng ~shard:0 ~at:0.0 ();
+  match
+    Par_engine.run eng ~handler:(fun ctx () ->
+        Par_engine.ctx_post ctx ~dst:1
+          ~at:(Par_engine.ctx_now ctx +. 1.0)
+          ())
+  with
+  | () -> Alcotest.fail "cross-shard post under the lookahead should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_par_engine_same_shard_post_is_schedule () =
+  (* Same-shard posts have no lookahead constraint. *)
+  let eng = Par_engine.create ~shards:2 ~lookahead:5.0 in
+  let hits = ref [] in
+  Par_engine.schedule_init eng ~shard:0 ~at:0.0 3;
+  Par_engine.run eng ~handler:(fun ctx n ->
+      hits := Par_engine.ctx_now ctx :: !hits;
+      if n > 0 then
+        Par_engine.ctx_post ctx ~dst:0
+          ~at:(Par_engine.ctx_now ctx +. 0.5)
+          (n - 1));
+  Alcotest.(check (list (float 1e-9)))
+    "sub-lookahead self-posts run" [ 1.5; 1.0; 0.5; 0.0 ] !hits
+
+(* --- Traffic --------------------------------------------------------- *)
+
+let test_traffic_domains_identical () =
+  let go domains =
+    Traffic.render
+      (Traffic.run ~domains ~seed:5 ~rows:16 ~cols:16 ~rate:0.002
+         ~horizon:10_000.0 ~pattern:Traffic.Uniform ())
+  in
+  let serial = go 1 in
+  List.iter
+    (fun d ->
+      Alcotest.(check string)
+        (Printf.sprintf "--domains %d byte-identical" d)
+        serial (go d))
+    [ 2; 4 ];
+  (* Repeat determinism: same config, same report. *)
+  Alcotest.(check string) "repeat run identical" serial (go 4)
+
+let test_traffic_drains_and_patterns () =
+  List.iter
+    (fun pattern ->
+      let r =
+        Traffic.run ~domains:3 ~seed:11 ~rows:8 ~cols:8 ~rate:0.001
+          ~horizon:5_000.0 ~pattern ()
+      in
+      Alcotest.(check int)
+        (Traffic.pattern_name pattern ^ " fully drained")
+        r.Traffic.r_injected r.Traffic.r_delivered;
+      Alcotest.(check bool)
+        (Traffic.pattern_name pattern ^ " delivered some")
+        true
+        (r.Traffic.r_delivered > 0))
+    [ Traffic.Uniform; Traffic.Transpose; Traffic.Hotspot ]
+
+(* --- Chaos campaigns under domains ----------------------------------- *)
+
+let test_chaos_domains_identical () =
+  (* Fault-injected protocol runs fanned out across domains: the outcome
+     list — oracle verdicts, fault counters, simulated times — must be
+     exactly the serial one. Manifest equality covers every field. *)
+  let cfg =
+    {
+      Chaos.default with
+      Chaos.dims = [| 4; 4 |];
+      schedules = 2;
+      ops = 20;
+      verify_determinism = true;
+    }
+  in
+  let manifest_with domains =
+    Chaos.manifest cfg (Chaos.run ~domains cfg)
+  in
+  let serial = manifest_with 1 in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "chaos --domains %d manifest identical" d)
+        true
+        (manifest_with d = serial))
+    [ 2; 4 ]
+
+let suite =
+  [
+    Alcotest.test_case "parallel map preserves order" `Quick
+      test_parallel_map_order;
+    Alcotest.test_case "parallel map propagates earliest exception" `Quick
+      test_parallel_map_exception;
+    Alcotest.test_case "par_engine ring identical across domains" `Quick
+      test_par_engine_ring_identical;
+    Alcotest.test_case "par_engine enforces lookahead" `Quick
+      test_par_engine_lookahead_enforced;
+    Alcotest.test_case "par_engine same-shard post" `Quick
+      test_par_engine_same_shard_post_is_schedule;
+    Alcotest.test_case "traffic identical across domains" `Quick
+      test_traffic_domains_identical;
+    Alcotest.test_case "traffic drains under all patterns" `Quick
+      test_traffic_drains_and_patterns;
+    Alcotest.test_case "chaos campaign identical across domains" `Quick
+      test_chaos_domains_identical;
+  ]

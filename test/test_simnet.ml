@@ -197,7 +197,7 @@ let test_mailbox_burst_linear () =
   let t0 = Sys.time () in
   for i = 0 to n - 1 do
     Network.mailbox_deliver net
-      { Network.m_src = 0; m_dst = 0; m_size = 8; m_payload = Ping i }
+      { Network.m_src = 0; m_dst = 0; m_size = 8; m_tag = -1; m_payload = Ping i }
   done;
   let ok = ref 0 in
   Network.spawn net 0 (fun () ->
@@ -208,6 +208,117 @@ let test_mailbox_burst_linear () =
       done);
   Network.run net;
   Alcotest.(check int) "all messages in FIFO order" n !ok;
+  Alcotest.(check bool) "burst stays linear (< 5 s cpu)" true
+    (Sys.time () -. t0 < 5.0)
+
+(* Closure-free scheduling: Sim.schedule_call carries (f, x) instead of a
+   fresh closure, and must interleave with ordinary closures in exact
+   (time, insertion) order. *)
+let test_sim_schedule_call () =
+  let s = Sim.create () in
+  let log = ref [] in
+  let push x = log := x :: !log in
+  Sim.schedule_call s 2.0 push 2;
+  Sim.schedule s 1.0 (fun () -> push 1);
+  Sim.schedule_call s 1.0 push 10;
+  Sim.schedule s 1.0 (fun () ->
+      (* now-relative variant from inside an event *)
+      Sim.schedule_call_now s push 11);
+  Sim.run s;
+  Alcotest.(check (list int)) "call/closure interleaving" [ 1; 10; 11; 2 ]
+    (List.rev !log);
+  Alcotest.(check int) "executed" 5 (Sim.events_executed s);
+  Alcotest.check_raises "past call"
+    (Invalid_argument "Sim.schedule: 0.500 is in the past (now = 2.000)")
+    (fun () -> Sim.schedule_call s 0.5 push 99)
+
+(* Selective receive by tag: per-tag FIFO, O(1) amortized, coexisting with
+   untagged traffic and the predicate filter on the same mailbox. *)
+let test_recv_by_tag () =
+  let net = Network.create ~rows:1 ~cols:2 () in
+  let got = ref [] in
+  Network.spawn net 1 (fun () ->
+      (* Tag 7 first although tag 3's messages arrived earlier. *)
+      let a = Network.recv net 1 ~tag:7 () in
+      let b = Network.recv net 1 ~tag:3 () in
+      let c = Network.recv net 1 ~tag:3 () in
+      (* Untagged pops arrival order among the remaining messages. *)
+      let d = Network.recv net 1 () in
+      List.iter
+        (fun m ->
+          match m.Network.m_payload with
+          | Ping i -> got := i :: !got
+          | _ -> ())
+        [ a; b; c; d ]);
+  Network.spawn net 0 (fun () ->
+      Network.send net ~src:0 ~dst:1 ~size:8 ~tag:3 (Ping 30);
+      Network.send net ~src:0 ~dst:1 ~size:8 ~tag:3 (Ping 31);
+      Network.send net ~src:0 ~dst:1 ~size:8 ~tag:7 (Ping 70);
+      Network.send net ~src:0 ~dst:1 ~size:8 (Ping 99));
+  Network.run net;
+  Alcotest.(check (list int)) "tag routing" [ 70; 30; 31; 99 ]
+    (List.rev !got)
+
+let test_recv_tag_blocks_until_match () =
+  let net = Network.create ~rows:1 ~cols:2 () in
+  let order = ref [] in
+  Network.spawn net 1 (fun () ->
+      let m = Network.recv net 1 ~tag:5 () in
+      (match m.Network.m_payload with
+      | Ping i -> order := ("tagged", i) :: !order
+      | _ -> ());
+      let m2 = Network.recv net 1 () in
+      match m2.Network.m_payload with
+      | Ping i -> order := ("untagged", i) :: !order
+      | _ -> ());
+  Network.spawn net 0 (fun () ->
+      (* The untagged message arrives first; the tag-5 waiter must skip it
+         and wake only on the tagged one. *)
+      Network.send net ~src:0 ~dst:1 ~size:8 (Ping 1);
+      Network.send net ~src:0 ~dst:1 ~size:8 ~tag:5 (Ping 2));
+  Network.run net;
+  Alcotest.(check (list (pair string int)))
+    "waiter wakes on its tag"
+    [ ("tagged", 2); ("untagged", 1) ]
+    (List.rev !order)
+
+let test_recv_tag_where_exclusive () =
+  let net = Network.create ~rows:1 ~cols:1 () in
+  Network.spawn net 0 (fun () ->
+      match
+        Network.recv net 0 ~tag:1 ~where:(fun _ -> true) ()
+      with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ());
+  Network.run net
+
+(* A tagged burst exercises the per-tag queues' lazy deletion: messages
+   consumed by tag must also vanish from the arrival queue (and vice
+   versa) without quadratic rescans. *)
+let test_recv_tag_burst_linear () =
+  let n = 30_000 in
+  let net = Network.create ~rows:1 ~cols:1 () in
+  let t0 = Sys.time () in
+  for i = 0 to n - 1 do
+    Network.mailbox_deliver net
+      { Network.m_src = 0; m_dst = 0; m_size = 8; m_tag = i mod 4;
+        m_payload = Ping i }
+  done;
+  let ok = ref 0 in
+  Network.spawn net 0 (fun () ->
+      (* Drain tag 2 completely, then everything else untagged. *)
+      for k = 0 to (n / 4) - 1 do
+        match (Network.recv net 0 ~tag:2 ()).Network.m_payload with
+        | Ping j when j = (4 * k) + 2 -> incr ok
+        | _ -> ()
+      done;
+      for _ = 1 to n - (n / 4) do
+        match (Network.recv net 0 ()).Network.m_payload with
+        | Ping j when j mod 4 <> 2 -> incr ok
+        | _ -> ()
+      done);
+  Network.run net;
+  Alcotest.(check int) "tagged + untagged drain" n !ok;
   Alcotest.(check bool) "burst stays linear (< 5 s cpu)" true
     (Sys.time () -. t0 < 5.0)
 
@@ -242,5 +353,11 @@ let suite =
     Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
     Alcotest.test_case "determinism" `Quick test_determinism;
     Alcotest.test_case "mailbox burst linear" `Quick test_mailbox_burst_linear;
+    Alcotest.test_case "schedule_call" `Quick test_sim_schedule_call;
+    Alcotest.test_case "recv by tag" `Quick test_recv_by_tag;
+    Alcotest.test_case "recv tag waiter" `Quick test_recv_tag_blocks_until_match;
+    Alcotest.test_case "recv tag+where rejected" `Quick
+      test_recv_tag_where_exclusive;
+    Alcotest.test_case "recv tag burst linear" `Quick test_recv_tag_burst_linear;
     Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff;
   ]

@@ -128,6 +128,106 @@ let prop_heap_sorted =
       let popped = drain [] in
       popped = List.sort compare popped)
 
+(* Full reference-model check: the pop sequence must equal a stable sort
+   of the insertions by priority — value identity included, so FIFO order
+   among equal priorities is verified, not just priority order. Priorities
+   are drawn from a handful of values to force plenty of ties. *)
+let prop_heap_reference_model =
+  QCheck.Test.make ~name:"heap matches stable-sorted reference" ~count:300
+    QCheck.(list (pair (int_bound 7) small_int))
+    (fun items ->
+      let items = List.map (fun (p, v) -> (float_of_int p, v)) items in
+      let h = Heap.create () in
+      List.iter (fun (p, v) -> Heap.insert h p v) items;
+      let rec drain acc =
+        match Heap.pop_min h with
+        | None -> List.rev acc
+        | Some (p, v) -> drain ((p, v) :: acc)
+      in
+      (* List.stable_sort on the priority alone = insertion order among
+         ties, which is exactly the queue's documented contract. *)
+      let expect =
+        List.stable_sort (fun (a, _) (b, _) -> compare a b) items
+      in
+      drain [] = expect)
+
+(* Interleaved inserts and pops against the same reference, exercising the
+   hole-based sift-up/down paths mid-stream rather than only on a full
+   drain. *)
+let prop_heap_interleaved_model =
+  QCheck.Test.make ~name:"heap interleaved ops match reference" ~count:300
+    QCheck.(list (pair (option (int_bound 7)) small_int))
+    (fun script ->
+      let h = Heap.create () in
+      let model = ref [] (* (prio, seq, value), kept stable-sorted *) in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (op, v) ->
+          match op with
+          | Some p ->
+              let p = float_of_int p in
+              Heap.insert h p v;
+              model :=
+                List.stable_sort
+                  (fun (a, sa, _) (b, sb, _) -> compare (a, sa) (b, sb))
+                  ((p, !seq, v) :: !model);
+              incr seq
+          | None -> (
+              match (Heap.pop_min h, !model) with
+              | None, [] -> ()
+              | Some (p, v), (mp, _, mv) :: rest ->
+                  if p <> mp || v <> mv then ok := false else model := rest
+              | _ -> ok := false))
+        script;
+      !ok && Heap.size h = List.length !model)
+
+(* Growth far past the initial capacity: 20k pseudo-random insertions must
+   still drain in exact (priority, insertion) order. *)
+let test_heap_growth () =
+  let h = Heap.create () in
+  let r = Diva_util.Prng.create ~seed:9 in
+  let items =
+    Array.init 20_000 (fun i -> (float_of_int (Diva_util.Prng.int r 1000), i))
+  in
+  Array.iter (fun (p, v) -> Heap.insert h p v) items;
+  Alcotest.(check int) "size" 20_000 (Heap.size h);
+  let expect =
+    let a = Array.copy items in
+    Array.stable_sort (fun (a, _) (b, _) -> compare a b) a;
+    a
+  in
+  Array.iter
+    (fun (ep, ev) ->
+      let p = Heap.min_priority_exn h in
+      let v = Heap.pop_exn h in
+      if p <> ep || v <> ev then
+        Alcotest.failf "drain mismatch: got (%g, %d), want (%g, %d)" p v ep ev)
+    expect;
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let test_heap_exn_and_clear () =
+  let h = Heap.create () in
+  (try
+     ignore (Heap.min_priority_exn h);
+     Alcotest.fail "min_priority_exn on empty should raise"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Heap.pop_exn h);
+     Alcotest.fail "pop_exn on empty should raise"
+   with Invalid_argument _ -> ());
+  Heap.insert h 3.0 "x";
+  Heap.insert h 1.0 "y";
+  Alcotest.(check (float 0.0)) "min_priority_exn" 1.0 (Heap.min_priority_exn h);
+  Alcotest.(check string) "pop_exn" "y" (Heap.pop_exn h);
+  Heap.insert h 2.0 "z";
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h);
+  Alcotest.(check int) "cleared size" 0 (Heap.size h);
+  (* FIFO tie-break spans a clear: sequence numbers keep advancing. *)
+  Heap.insert h 1.0 "after";
+  Alcotest.(check string) "usable after clear" "after" (Heap.pop_exn h)
+
 let test_stats () =
   Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
   Alcotest.(check (float 1e-9)) "percent" 50.0 (Stats.percent 1.0 2.0);
@@ -207,6 +307,10 @@ let suite =
     Alcotest.test_case "heap fifo ties" `Quick test_heap_fifo_ties;
     Alcotest.test_case "heap interleaved" `Quick test_heap_interleaved;
     QCheck_alcotest.to_alcotest prop_heap_sorted;
+    QCheck_alcotest.to_alcotest prop_heap_reference_model;
+    QCheck_alcotest.to_alcotest prop_heap_interleaved_model;
+    Alcotest.test_case "heap growth past 10k" `Quick test_heap_growth;
+    Alcotest.test_case "heap exn ops and clear" `Quick test_heap_exn_and_clear;
     Alcotest.test_case "stats helpers" `Quick test_stats;
     Alcotest.test_case "stats percentile" `Quick test_percentile;
     Alcotest.test_case "event_queue basics" `Quick test_event_queue_basics;
