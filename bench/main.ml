@@ -14,6 +14,7 @@
    Ablations: matmul_arity, bitonic_arity, embedding, combining, replacement. *)
 
 module Dsm = Diva_core.Dsm
+module Registry = Diva_core.Registry
 module Runner = Diva_harness.Runner
 module Report = Diva_harness.Report
 module Barnes_hut = Diva_apps.Barnes_hut
@@ -626,6 +627,61 @@ let perf () =
    matrix switches to paper-sized problems (a separate committed baseline,
    BENCH_paper_baseline.json, gates that variant nightly); the "scale"
    field keeps the two document families from ever gating each other. *)
+(* Strategy shootout: every registry contender on the fixed matmul
+   problem, keyed by canonical registry name. Gated as the "strategies"
+   section of BENCH_diva.json so a protocol change in any zoo contender
+   shows up in the per-PR bench gate. *)
+let shootout_mesh () = if !paper_scale then 16 else 8
+let shootout_block () = if !paper_scale then 1024 else 256
+
+let shootout_runs () =
+  let q = shootout_mesh () and block = shootout_block () in
+  List.map
+    (fun (name, spec) ->
+      (name, Runner.run_matmul ~rows:q ~cols:q ~block (Runner.Strategy spec)))
+    (Registry.contenders ())
+
+let strategies_doc () =
+  let open Diva_obs.Json in
+  let q = shootout_mesh () in
+  Obj
+    [
+      ( "matmul",
+        Obj
+          [
+            ( Printf.sprintf "%dx%d" q q,
+              Obj
+                (List.map
+                   (fun (name, m) -> (name, Obj (Runner.measurement_fields m)))
+                   (shootout_runs ())) );
+          ] );
+    ]
+
+let strategy_shootout () =
+  let q = shootout_mesh () and block = shootout_block () in
+  banner
+    (Printf.sprintf "Strategy shootout: matmul %dx%d, block %d, all registry \
+                     contenders" q q block);
+  let tbl =
+    Table.create
+      ~header:[ "strategy"; "time(us)"; "msgs"; "bytes"; "read hit%"; "evict" ]
+  in
+  List.iter
+    (fun (name, (m : Runner.measurements)) ->
+      Table.add_row tbl
+        [
+          name;
+          Printf.sprintf "%.0f" m.Runner.time;
+          string_of_int m.Runner.total_msgs;
+          string_of_int m.Runner.total_bytes;
+          Printf.sprintf "%.1f"
+            (100.0 *. float_of_int m.Runner.dsm_read_hits
+            /. float_of_int (max 1 m.Runner.dsm_reads));
+          string_of_int m.Runner.evictions;
+        ])
+    (shootout_runs ());
+  print_string (Table.render tbl)
+
 let bench_doc () =
   let open Diva_obs.Json in
   let fields m = Obj (Runner.measurement_fields m) in
@@ -736,6 +792,7 @@ let bench_doc () =
             ("workload", Obj workload);
             ("service", Obj service);
           ] );
+      ("strategies", strategies_doc ());
       ("perf", perf_doc ());
     ]
 
@@ -938,6 +995,7 @@ let () =
       ("replacement", replacement_ablation);
       ("dimensions", dimensions_ablation);
       ("workload_zipf", workload_zipf);
+      ("strategies", strategy_shootout);
       ("service_knee", service_knee);
       ("faults", fault_degradation);
       ("perf", perf);

@@ -12,6 +12,8 @@
 *)
 
 module Dsm = Diva_core.Dsm
+module Strategy = Diva_core.Strategy
+module Registry = Diva_core.Registry
 module Runner = Diva_harness.Runner
 module Barnes_hut = Diva_apps.Barnes_hut
 module Embedding = Diva_mesh.Embedding
@@ -36,38 +38,48 @@ let mesh_conv =
         Format.fprintf fmt "%s"
           (String.concat "x" (List.map string_of_int (Array.to_list dims))) )
 
-(* "4-ary", "2-4-ary", "16-ary", "fixed-home", "hand-optimized"; a "+random"
-   suffix selects the fully random embedding. *)
+(* Any strategy-registry name ("access_tree", "prefetch_tree",
+   "adaptive_repl", "capacity_lru", ...), the classic paper spellings
+   ("4-ary", "2-4-ary", "fixed-home"), or "hand-optimized"; a "+random"
+   suffix selects the fully random embedding (tree strategies only). *)
 let parse_strategy s =
   let s = String.lowercase_ascii (String.trim s) in
-  let embedding, s =
+  let embedding, random, s =
     match Filename.chop_suffix_opt ~suffix:"+random" s with
-    | Some base -> (Embedding.Random, base)
-    | None -> (Embedding.Regular, s)
+    | Some base -> (Embedding.Random, true, base)
+    | None -> (Embedding.Regular, false, s)
   in
   match s with
-  | "fixed-home" | "fixedhome" | "home" -> Ok (Runner.Strategy Dsm.Fixed_home)
   | "hand" | "handopt" | "hand-optimized" -> Ok Runner.Hand_optimized
   | _ -> (
-      match String.split_on_char '-' s with
-      | [ l; "ary" ] -> (
-          match int_of_string_opt l with
-          | Some l when l = 2 || l = 4 || l = 16 ->
-              Ok (Runner.Strategy (Dsm.access_tree ~arity:l ~embedding ()))
-          | _ -> Error (`Msg "arity must be 2, 4 or 16"))
-      | [ l; k; "ary" ] -> (
-          match (int_of_string_opt l, int_of_string_opt k) with
-          | Some l, Some k when (l = 2 || l = 4 || l = 16) && k >= 1 ->
-              Ok
-                (Runner.Strategy
-                   (Dsm.access_tree ~arity:l ~leaf_size:k ~embedding ()))
-          | _ -> Error (`Msg "bad l-k-ary strategy"))
-      | _ ->
-          Error
-            (`Msg
-               "strategy is one of: 2-ary, 4-ary, 16-ary, 2-4-ary, 4-16-ary, \
-                fixed-home, hand-optimized (append +random for the random \
-                embedding)"))
+      match Registry.find s with
+      | Some (Dsm.Access_tree c) ->
+          Ok (Runner.Strategy (Dsm.Access_tree { c with Strategy.embedding }))
+      | Some spec when not random -> Ok (Runner.Strategy spec)
+      | Some _ -> Error (`Msg "+random only applies to tree strategies")
+      | None -> (
+          match String.split_on_char '-' s with
+          | [ l; "ary" ] -> (
+              match int_of_string_opt l with
+              | Some l when l = 2 || l = 4 || l = 16 ->
+                  Ok (Runner.Strategy (Dsm.access_tree ~arity:l ~embedding ()))
+              | _ -> Error (`Msg "arity must be 2, 4 or 16"))
+          | [ l; k; "ary" ] -> (
+              match (int_of_string_opt l, int_of_string_opt k) with
+              | Some l, Some k when (l = 2 || l = 4 || l = 16) && k >= 1 ->
+                  Ok
+                    (Runner.Strategy
+                       (Dsm.access_tree ~arity:l ~leaf_size:k ~embedding ()))
+              | _ -> Error (`Msg "bad l-k-ary strategy"))
+          | _ ->
+              Error
+                (`Msg
+                   (Printf.sprintf
+                      "strategy is a registry name (%s), a tree spelling \
+                       (2-ary, 4-ary, 16-ary, 2-4-ary, 4-16-ary), or \
+                       hand-optimized (append +random for the random \
+                       embedding)"
+                      (String.concat ", " (Registry.names ()))))))
 
 let strategy_conv =
   Arg.conv
@@ -1225,8 +1237,33 @@ let chaos_cmd =
             "CI smoke: a reduced campaign (3 schedules, 30 ops/proc on a 4x4 \
              mesh) with determinism verification on.")
   in
+  let strategy_names =
+    Arg.(
+      value & opt_all string []
+      & info [ "strategy" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Restrict the campaign to this registry strategy (repeatable). \
+                Default: every registered contender. Known names: %s."
+               (String.concat ", " (Registry.names ()))))
+  in
   let run dims schedules seed ops vars lock_every read_ratio no_verify manifest
-      smoke domains =
+      smoke strategy_names domains =
+    let strategies =
+      match strategy_names with
+      | [] -> Registry.contenders ()
+      | names ->
+          List.map
+            (fun name ->
+              match Registry.find name with
+              | Some spec -> (name, spec)
+              | None ->
+                  Printf.eprintf
+                    "divasim chaos: unknown strategy %S (known: %s)\n" name
+                    (String.concat ", " (Registry.names ()));
+                  exit 2)
+            names
+    in
     let cfg =
       {
         Workload.Chaos.dims;
@@ -1237,6 +1274,7 @@ let chaos_cmd =
         lock_every;
         read_ratio;
         verify_determinism = not no_verify;
+        strategies;
       }
     in
     let cfg =
@@ -1246,8 +1284,12 @@ let chaos_cmd =
       else cfg
     in
     Printf.printf
-      "chaos: %d fault schedules x 2 strategies on %s, %d ops/proc, seed %d%s%s\n"
+      "chaos: %d fault schedules x %d strategies (%s) on %s, %d ops/proc, \
+       seed %d%s%s\n"
       cfg.Workload.Chaos.schedules
+      (List.length cfg.Workload.Chaos.strategies)
+      (String.concat ", "
+         (List.map fst cfg.Workload.Chaos.strategies))
       (String.concat "x"
          (List.map string_of_int (Array.to_list cfg.Workload.Chaos.dims)))
       cfg.Workload.Chaos.ops seed
@@ -1273,7 +1315,7 @@ let chaos_cmd =
        ~doc:"Fault-injection campaign validated by a coherence oracle")
     Term.(
       const run $ mesh $ schedules $ seed_t $ ops $ vars $ lock_every
-      $ read_ratio $ no_verify $ manifest $ smoke $ domains_t)
+      $ read_ratio $ no_verify $ manifest $ smoke $ strategy_names $ domains_t)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel mesh traffic (the Par_engine showcase)                     *)

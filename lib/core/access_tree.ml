@@ -7,6 +7,7 @@ module Trace = Diva_obs.Trace
 type body =
   | Rreq of { origin : int }
   | Rrep of { origins : int list }
+  | Rpush  (* speculative copy pushed one level down the tree (prefetch) *)
   | Wreq of { origin : int }
   | Winv
   | Wack
@@ -35,6 +36,7 @@ type tstate = {
   mutable lasked : bool;
   mutable locked : bool;
   mutable last_use : int;  (* LRU tick *)
+  mutable use_count : int;  (* lifetime touches, for frequency eviction *)
   mutable traffic : int;  (* messages served, for the remapping variant *)
 }
 
@@ -68,6 +70,8 @@ type ctl = {
   mutable wtxn : wtxn option;
   readers : (int, (Value.t -> unit) list) Hashtbl.t;  (* origin leaf -> ks *)
   mutable touched : int list;  (* materialised state keys, for [retire] *)
+  mutable pushes : int;  (* speculative Rpush messages in flight *)
+  mutable retired : bool;  (* retire deferred until the pushes land *)
 }
 
 type t = {
@@ -77,6 +81,8 @@ type t = {
   capacity : int option;
   combining : bool;
   remap_threshold : int option;
+  eviction : Strategy.eviction;
+  prefetch : bool;
   remap_rng : Diva_util.Prng.t;
   placement_override : (int, int) Hashtbl.t;  (* state key -> mesh node *)
   placement_cache : (int, int) Hashtbl.t;  (* state key -> default placement *)
@@ -91,7 +97,7 @@ type t = {
 }
 
 let create net deco ~embedding ?capacity ?(combining = true) ?remap_threshold
-    () =
+    ?(eviction = Strategy.Lru) ?(prefetch = false) () =
   {
     net;
     deco;
@@ -99,6 +105,8 @@ let create net deco ~embedding ?capacity ?(combining = true) ?remap_threshold
     capacity;
     combining;
     remap_threshold;
+    eviction;
+    prefetch;
     remap_rng = Diva_util.Prng.split (Network.rng net);
     placement_override = Hashtbl.create 64;
     placement_cache = Hashtbl.create 4096;
@@ -143,7 +151,7 @@ let get_ctl t (var : Types.var) =
       let c =
         { var; ncopies = 1; reading = 0; writing = false;
           pending = Queue.create (); wtxn = None; readers = Hashtbl.create 2;
-          touched = [] }
+          touched = []; pushes = 0; retired = false }
       in
       Hashtbl.add t.vars var.Types.id c;
       c
@@ -162,7 +170,7 @@ let get_state t (ctl : ctl) tnode =
         { has_copy = is_home; toward; comp_edges = []; read_pending = false;
           parked = []; inv_waiting = 0; inv_pred = -1; tok_toward = toward;
           lqueue = []; lasked = false; locked = false; last_use = 0;
-          traffic = 0 }
+          use_count = 0; traffic = 0 }
       in
       Hashtbl.add t.states k s;
       ctl.touched <- k :: ctl.touched;
@@ -170,7 +178,8 @@ let get_state t (ctl : ctl) tnode =
 
 let touch t st =
   t.lru_tick <- t.lru_tick + 1;
-  st.last_use <- t.lru_tick
+  st.last_use <- t.lru_tick;
+  st.use_count <- st.use_count + 1
 
 let trace_copy_add t (ctl : ctl) tnode =
   let tr = Network.trace t.net in
@@ -219,7 +228,14 @@ let evictable _t (ctl : ctl) st =
   && List.length st.comp_edges <= 1
 
 (* Scan only the copies held at [proc] (the per-processor registry), not
-   the global state table. *)
+   the global state table. The victim minimizes the policy's score: the
+   LRU tick, or the lifetime touch count (ties broken by the LRU tick, so
+   frequency eviction stays deterministic). *)
+let score t st =
+  match t.eviction with
+  | Strategy.Lru -> (st.last_use, 0)
+  | Strategy.Freq -> (st.use_count, st.last_use)
+
 let evict t proc =
   let best = ref None in
   Hashtbl.iter
@@ -232,8 +248,8 @@ let evict t proc =
             match Hashtbl.find_opt t.vars var_id with
             | Some ctl when evictable t ctl st -> (
                 match !best with
-                | Some (_, _, _, lu) when lu <= st.last_use -> ()
-                | _ -> best := Some (k, ctl, st, st.last_use))
+                | Some (_, _, _, sc) when sc <= score t st -> ()
+                | _ -> best := Some (k, ctl, st, score t st))
             | _ -> ()
           end)
     t.held.(proc);
@@ -404,7 +420,27 @@ let on_rreq t ctl ~tnode ~origin =
     send_ctl t ctl ~from:tnode ~tnode:st.toward (Rreq { origin })
   end
 
-let on_rrep t ctl ~from ~tnode ~origins =
+(* Tree-structured prefetching: when a read reply installs a copy at a
+   tree node, push speculative copies one level further down, into the
+   children not already covered. One extra data message per child serves
+   every later reader in that child's subtree locally (its pointer chase
+   stops at the child). Each in-flight push holds a slot on [ctl.reading]
+   so no write can start invalidating while a speculative copy is still
+   travelling — the pushed copy always joins a quiescent component. *)
+let prefetch_children t ctl tnode st =
+  Array.iter
+    (fun c ->
+      let cs = get_state t ctl c in
+      if (not cs.has_copy) && not cs.read_pending then begin
+        ctl.reading <- ctl.reading + 1;
+        ctl.pushes <- ctl.pushes + 1;
+        cs.read_pending <- true;
+        add_edge st c;
+        send_data t ctl ~from:tnode ~tnode:c Rpush
+      end)
+    t.deco.Deco.children.(tnode)
+
+let rec on_rrep ?(push = true) t ctl ~from ~tnode ~origins =
   let st = get_state t ctl tnode in
   add_copy t ctl tnode st;
   touch t st;
@@ -427,9 +463,42 @@ let on_rrep t ctl ~from ~tnode ~origins =
       add_edge st nxt;
       send_data t ctl ~from:tnode ~tnode:nxt (Rrep { origins = os }))
     groups;
+  (* Speculative pushes before completions: the pushes take their reading
+     slots while no resumed fiber can have issued a write yet. Only reply
+     path nodes push (a pushed copy does not push further), bounding the
+     speculation to one level beyond the paths actually walked. *)
+  if push && t.prefetch then prefetch_children t ctl tnode st;
   (* Completions last: they may resume fibers that issue new operations. *)
   complete_reads t ctl tnode;
   process_queue t ctl
+
+(* A speculative copy lands: exactly a reply with no origins to serve
+   (parked requests that raced the push are served the same way an
+   in-flight reply serves them). If the variable was retired while the
+   push travelled, drop the push and finish the deferred retire once the
+   last one lands. *)
+and on_rpush t ctl ~from ~tnode =
+  ctl.reading <- ctl.reading - 1;
+  ctl.pushes <- ctl.pushes - 1;
+  if ctl.retired then begin
+    if ctl.pushes = 0 then finish_retire t ctl
+  end
+  else on_rrep ~push:false t ctl ~from ~tnode ~origins:[]
+
+and finish_retire t ctl =
+  List.iter
+    (fun k ->
+      (match (t.capacity, Hashtbl.find_opt t.states k) with
+      | Some _, Some st when st.has_copy ->
+          let tnode = k mod t.deco.Deco.num_tree_nodes in
+          let proc = place t ctl.var tnode in
+          t.mem_used.(proc) <- t.mem_used.(proc) - ctl.var.Types.data_size;
+          Hashtbl.remove t.held.(proc) k
+      | _ -> ());
+      Hashtbl.remove t.placement_override k;
+      Hashtbl.remove t.states k)
+    ctl.touched;
+  Hashtbl.remove t.vars ctl.var.Types.id
 
 let on_wreq t ctl ~tnode ~origin =
   let st = get_state t ctl tnode in
@@ -641,6 +710,7 @@ let handle t (msg : Network.msg) =
       (match body with
       | Rreq { origin } -> on_rreq t ctl ~tnode ~origin
       | Rrep { origins } -> on_rrep t ctl ~from ~tnode ~origins
+      | Rpush -> on_rpush t ctl ~from ~tnode
       | Wreq { origin } -> on_wreq t ctl ~tnode ~origin
       | Winv -> on_winv t ctl ~from ~tnode
       | Wack -> on_wack t ctl ~tnode
@@ -675,27 +745,17 @@ let retire t (var : Types.var) =
   match Hashtbl.find_opt t.vars var.Types.id with
   | None -> ()
   | Some ctl ->
-      if ctl.writing || ctl.reading > 0 || not (Queue.is_empty ctl.pending) then
-        invalid_arg "Access_tree.retire: variable has transactions in flight";
-      List.iter
-        (fun k ->
-          (match (t.capacity, Hashtbl.find_opt t.states k) with
-          | Some _, Some st when st.has_copy ->
-              let tnode = k mod t.deco.Deco.num_tree_nodes in
-              let proc = place t ctl.var tnode in
-              t.mem_used.(proc) <- t.mem_used.(proc) - ctl.var.Types.data_size;
-              Hashtbl.remove t.held.(proc) k
-          | _ -> ());
-          Hashtbl.remove t.placement_override k;
-          Hashtbl.remove t.states k)
-        ctl.touched;
-      (match t.capacity with
-      | Some _ when not (Hashtbl.mem t.states (key t var.Types.id (leaf t var.Types.owner))) ->
-          (* The owner's initial copy was implicit (never materialised); it
-             was also never accounted, so nothing to release. *)
-          ()
-      | _ -> ());
-      Hashtbl.remove t.vars var.Types.id
+      if
+        ctl.writing
+        || ctl.reading - ctl.pushes > 0
+        || not (Queue.is_empty ctl.pending)
+      then invalid_arg "Access_tree.retire: variable has transactions in flight";
+      (* Speculative pushes are not application transactions: the state
+         must outlive them (their arrival looks up the variable), so the
+         actual teardown is deferred to the last push's landing. *)
+      if ctl.pushes > 0 then ctl.retired <- true else finish_retire t ctl
+
+let deco t = t.deco
 
 let validate t (var : Types.var) =
   match Hashtbl.find_opt t.vars var.Types.id with
@@ -758,3 +818,43 @@ let validate t (var : Types.var) =
           end
         end
       end
+
+(* ------------------------------------------------------------------ *)
+(* STRATEGY instance                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Impl :
+  Strategy.STRATEGY with type t = t and type config = Strategy.tree_config =
+struct
+  type nonrec t = t
+  type config = Strategy.tree_config
+
+  let id = "access-tree"
+
+  let create net (c : Strategy.tree_config) =
+    let deco =
+      Deco.build (Network.mesh net) ~arity:(Deco.arity_of_int c.arity)
+        ~leaf_size:c.leaf_size
+    in
+    create net deco ~embedding:c.embedding ?capacity:c.capacity
+      ~combining:c.combining ?remap_threshold:c.remap_threshold
+      ~eviction:c.eviction ~prefetch:c.prefetch ()
+
+  let sync_deco t = Some t.deco
+  let handle = handle
+  let cached = cached
+  let sole_copy = sole_copy
+  let read = read
+  let write = write
+  let lock = lock
+  let unlock = unlock
+  let ncopies = ncopies
+
+  let copy_holder_places t var =
+    List.sort_uniq compare (List.map (place t var) (copy_holders t var))
+
+  let evictions = evictions
+  let remaps = remaps
+  let retire = retire
+  let validate = validate
+end

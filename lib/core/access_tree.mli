@@ -40,6 +40,8 @@ val create :
   ?capacity:int ->
   ?combining:bool ->
   ?remap_threshold:int ->
+  ?eviction:Strategy.eviction ->
+  ?prefetch:bool ->
   unit ->
   t
 (** [create net decomposition ~embedding ()] builds the protocol state.
@@ -53,6 +55,9 @@ val create :
     a fresh random processor of its submesh (paying one control message to
     move its state); the [remapping] benchmark ablation tests the paper's
     claim that this overhead is not repaid in practice.
+    [eviction] (default {!Strategy.Lru}) selects the victim policy when
+    [capacity] is set. [prefetch] (default [false]) pushes speculative
+    copies one level down the tree whenever a read reply installs a copy.
     The protocol does not install network handlers itself: the [Dsm]
     façade dispatches incoming messages to {!handle}. *)
 
@@ -91,8 +96,11 @@ val ncopies : t -> Types.var -> int
 val copy_holders : t -> Types.var -> int list
 (** Tree nodes currently holding copies (for invariant checks in tests). *)
 
+val deco : t -> Diva_mesh.Decomposition.t
+(** The decomposition tree the protocol runs on. *)
+
 val evictions : t -> int
-(** Number of LRU evictions performed so far. *)
+(** Number of capacity evictions performed so far. *)
 
 val remaps : t -> int
 (** Number of tree-node remappings performed (0 unless enabled). *)
@@ -107,3 +115,8 @@ val validate : t -> Types.var -> (unit, string) result
     transaction is in flight: the copy holders form a connected subtree,
     the copy count matches, and every materialised tracking pointer leads
     to the component. For tests. *)
+
+module Impl :
+  Strategy.STRATEGY with type t = t and type config = Strategy.tree_config
+(** The access tree packed as a first-class strategy. [Impl.create] builds
+    its own decomposition from the config. *)

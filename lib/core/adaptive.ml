@@ -1,3 +1,20 @@
+(* Read/write-frequency-adaptive replication with home migration.
+
+   The protocol is the fixed-home ownership scheme with two adaptive
+   twists motivated by the data-grids replication survey:
+
+   - A reader is granted a cached replica only after [replicate_after]
+     consecutive home read misses since its last invalidation. Cold or
+     write-shared data therefore stays un-replicated and its writes pay
+     no invalidation fan-out; genuinely read-hot data converges to the
+     fixed-home behaviour after the warm-up streak.
+
+   - Every [migrate_after] home transactions the home re-examines the
+     per-processor request tally; if one processor accounts for at least
+     half the window, the home migrates to it (paying one data-sized
+     state-transfer message). Requests already in flight toward the old
+     home are forwarded, paying the detour. *)
+
 module Network = Diva_simnet.Network
 module Prng = Diva_util.Prng
 module Trace = Diva_obs.Trace
@@ -5,30 +22,29 @@ module Trace = Diva_obs.Trace
 type owner = Home | Owned_by of Types.proc
 
 type body =
-  | Hrreq of { origin : Types.proc }
-  | Hfetch
-  | Hfdata
-  | Hrdata of { reader : Types.proc; epoch : int; v : Value.t }
-  | Hwreq of { origin : Types.proc; value : Value.t }
-  | Hinv
-  | Hinvack
-  | Hgrant of { origin : Types.proc }
-  | Hlock of { origin : Types.proc }
-  | Hlgrant of { origin : Types.proc }
-  | Hunlock
+  | Arreq of { origin : Types.proc }
+  | Afetch
+  | Afdata
+  | Ardata of { reader : Types.proc; epoch : int; cacheable : bool; v : Value.t }
+  | Awreq of { origin : Types.proc; value : Value.t }
+  | Ainv
+  | Ainvack
+  | Agrant of { origin : Types.proc }
+  | Alock of { origin : Types.proc }
+  | Algrant of { origin : Types.proc }
+  | Aunlock
+  | Amove  (* home-state transfer to the new home; no handler action *)
 
-type Network.payload += Fh of { var_id : int; body : body }
+type Network.payload += Ad of { var_id : int; body : body }
 
-(* Home-side transactions carry the issuer's causal id: they can be
-   dequeued from inside another transaction's completion, and the protocol
-   messages they spawn must be attributed to the original one. *)
+(* Home-side transactions carry the issuer's causal id (see Fixed_home). *)
 type txn =
   | Tread of { origin : Types.proc; t_txn : int }
   | Twrite of { origin : Types.proc; value : Value.t; t_txn : int }
 
 type hstate = {
   var : Types.var;
-  home : Types.proc;
+  mutable home : Types.proc;  (* migrates; requests to a stale home forward *)
   mutable owner : owner;
   home_copies : (Types.proc, unit) Hashtbl.t;  (* the home's registry *)
   valid : (Types.proc, unit) Hashtbl.t;  (* per-processor hit flags *)
@@ -37,26 +53,39 @@ type hstate = {
   q : txn Queue.t;
   mutable cur : txn option;
   mutable acks : int;
-  (* Lock management: FIFO queue at the home. *)
+  streak : (Types.proc, int) Hashtbl.t;
+      (* consecutive home read misses since the last invalidation *)
+  tally : (Types.proc, int) Hashtbl.t;  (* requests per proc, this window *)
+  mutable window : int;  (* home transactions since the last re-examination *)
+  (* Lock management: FIFO queue at the home (migrates with it). *)
   mutable lock_held : bool;
   lq : Types.proc Queue.t;
 }
 
 type t = {
   net : Network.t;
+  replicate_after : int;
+  migrate_after : int;
   vars : (int, hstate) Hashtbl.t;
   read_waiters : (int, Value.t -> unit) Hashtbl.t;  (* var_id * P + proc *)
   write_waiters : (int, unit -> unit) Hashtbl.t;
   lock_waiters : (int, unit -> unit) Hashtbl.t;
+  mutable migrations : int;
 }
 
-let create net () =
+let create net ?(replicate_after = Strategy.adaptive_defaults.replicate_after)
+    ?(migrate_after = Strategy.adaptive_defaults.migrate_after) () =
+  if replicate_after < 1 then invalid_arg "Adaptive.create: replicate_after";
+  if migrate_after < 1 then invalid_arg "Adaptive.create: migrate_after";
   {
     net;
+    replicate_after;
+    migrate_after;
     vars = Hashtbl.create 1024;
     read_waiters = Hashtbl.create 64;
     write_waiters = Hashtbl.create 64;
     lock_waiters = Hashtbl.create 64;
+    migrations = 0;
   }
 
 let get t (var : Types.var) =
@@ -64,11 +93,13 @@ let get t (var : Types.var) =
   | Some s -> s
   | None ->
       let nprocs = Network.num_nodes t.net in
+      (* Same initial placement rule as fixed home, for comparability. *)
       let home = Prng.hash2_int var.Types.seed 1 ~bound:nprocs in
       let s =
         { var; home; owner = Owned_by var.Types.owner;
           home_copies = Hashtbl.create 4; valid = Hashtbl.create 4; epoch = 0;
           busy = false; q = Queue.create (); cur = None; acks = 0;
+          streak = Hashtbl.create 4; tally = Hashtbl.create 4; window = 0;
           lock_held = false; lq = Queue.create () }
       in
       Hashtbl.add s.home_copies var.Types.owner ();
@@ -80,9 +111,8 @@ let home t var = (get t var).home
 let wkey t var_id p = (var_id * Network.num_nodes t.net) + p
 
 let send t hs ~src ~dst ~size body =
-  Network.send t.net ~src ~dst ~size (Fh { var_id = hs.var.Types.id; body })
+  Network.send t.net ~src ~dst ~size (Ad { var_id = hs.var.Types.id; body })
 
-(* Fixed home has no access tree: copy events carry tnode/level -1. *)
 let trace_copy t hs node change =
   let tr = Network.trace t.net in
   if Trace.enabled tr then
@@ -106,10 +136,15 @@ let send_data t hs ~src ~dst body =
 (* ------------------------------------------------------------------ *)
 
 let reply_read t hs origin =
-  (* Serialisation point of the read: the home sends the current value. *)
-  Hashtbl.replace hs.home_copies origin ();
+  let s = 1 + Option.value ~default:0 (Hashtbl.find_opt hs.streak origin) in
+  Hashtbl.replace hs.streak origin s;
+  let cacheable = s >= t.replicate_after in
+  (* Non-cacheable readers are not registered: their reply is a one-shot
+     value and later writes need not invalidate them. *)
+  if cacheable then Hashtbl.replace hs.home_copies origin ();
   send_data t hs ~src:hs.home ~dst:origin
-    (Hrdata { reader = origin; epoch = hs.epoch; v = hs.var.Types.value });
+    (Ardata { reader = origin; epoch = hs.epoch; cacheable;
+              v = hs.var.Types.value });
   hs.cur <- None;
   hs.busy <- false
 
@@ -118,8 +153,10 @@ let commit_write t hs origin value =
   hs.epoch <- hs.epoch + 1;
   Hashtbl.reset hs.home_copies;
   Hashtbl.add hs.home_copies origin ();
+  (* An invalidation ends every replication streak. *)
+  Hashtbl.reset hs.streak;
   hs.owner <- Owned_by origin;
-  send_ctl t hs ~src:hs.home ~dst:origin (Hgrant { origin });
+  send_ctl t hs ~src:hs.home ~dst:origin (Agrant { origin });
   hs.cur <- None;
   hs.busy <- false
 
@@ -128,14 +165,19 @@ let rec process t hs =
     let txn = Queue.pop hs.q in
     hs.busy <- true;
     hs.cur <- Some txn;
+    hs.window <- hs.window + 1;
+    let origin =
+      match txn with Tread { origin; _ } | Twrite { origin; _ } -> origin
+    in
+    Hashtbl.replace hs.tally origin
+      (1 + Option.value ~default:0 (Hashtbl.find_opt hs.tally origin));
     Network.set_txn t.net
       (match txn with Tread { t_txn; _ } | Twrite { t_txn; _ } -> t_txn);
     match txn with
     | Tread { origin; _ } -> (
         match hs.owner with
         | Owned_by ow when ow <> origin ->
-            (* Move the data (and ownership) back to the main memory. *)
-            send_ctl t hs ~src:hs.home ~dst:ow Hfetch
+            send_ctl t hs ~src:hs.home ~dst:ow Afetch
         | Owned_by _ | Home ->
             hs.owner <- Home;
             reply_read t hs origin;
@@ -151,19 +193,51 @@ let rec process t hs =
         end
         else begin
           hs.acks <- List.length holders;
-          List.iter (fun p -> send_ctl t hs ~src:hs.home ~dst:p Hinv) holders
+          List.iter (fun p -> send_ctl t hs ~src:hs.home ~dst:p Ainv) holders
         end
   end
 
+(* Re-examine the home placement once per window, only at quiescence (so
+   a migration never races a home transaction's own messages). The tally
+   argmax scans processor ids in ascending order — deterministic ties. *)
+let maybe_migrate t hs =
+  if (not hs.busy) && Queue.is_empty hs.q && hs.window >= t.migrate_after
+  then begin
+    let w = hs.window in
+    let best = ref (-1) and bestn = ref 0 in
+    for p = 0 to Network.num_nodes t.net - 1 do
+      match Hashtbl.find_opt hs.tally p with
+      | Some n when n > !bestn ->
+          best := p;
+          bestn := n
+      | _ -> ()
+    done;
+    hs.window <- 0;
+    Hashtbl.reset hs.tally;
+    if 2 * !bestn >= w && !best >= 0 && !best <> hs.home then begin
+      let old = hs.home in
+      hs.home <- !best;
+      t.migrations <- t.migrations + 1;
+      let tr = Network.trace t.net in
+      if Trace.enabled tr then
+        Trace.emit tr
+          (Trace.Remap
+             { ts = Network.now t.net; var = hs.var.Types.id;
+               var_name = hs.var.Types.name; tnode = -1; level = -1;
+               from_node = old; to_node = !best });
+      send_data t hs ~src:old ~dst:!best Amove
+    end
+  end
+
 let on_home_msg t hs body =
-  match body with
-  | Hrreq { origin } ->
+  (match body with
+  | Arreq { origin } ->
       Queue.add (Tread { origin; t_txn = Network.cur_txn t.net }) hs.q;
       process t hs
-  | Hwreq { origin; value } ->
+  | Awreq { origin; value } ->
       Queue.add (Twrite { origin; value; t_txn = Network.cur_txn t.net }) hs.q;
       process t hs
-  | Hfdata -> (
+  | Afdata -> (
       match hs.cur with
       | Some (Tread { origin; t_txn }) ->
           Network.set_txn t.net t_txn;
@@ -171,7 +245,7 @@ let on_home_msg t hs body =
           reply_read t hs origin;
           process t hs
       | _ -> assert false)
-  | Hinvack -> (
+  | Ainvack -> (
       hs.acks <- hs.acks - 1;
       if hs.acks = 0 then
         match hs.cur with
@@ -180,32 +254,31 @@ let on_home_msg t hs body =
             commit_write t hs origin value;
             process t hs
         | _ -> assert false)
-  | Hlock { origin } ->
+  | Alock { origin } ->
       if hs.lock_held then Queue.add origin hs.lq
       else begin
         hs.lock_held <- true;
-        send_ctl t hs ~src:hs.home ~dst:origin (Hlgrant { origin })
+        send_ctl t hs ~src:hs.home ~dst:origin (Algrant { origin })
       end
-  | Hunlock ->
+  | Aunlock ->
       if Queue.is_empty hs.lq then hs.lock_held <- false
       else begin
         let nxt = Queue.pop hs.lq in
-        send_ctl t hs ~src:hs.home ~dst:nxt (Hlgrant { origin = nxt })
+        send_ctl t hs ~src:hs.home ~dst:nxt (Algrant { origin = nxt })
       end
-  | Hfetch | Hinv | Hrdata _ | Hgrant _ | Hlgrant _ -> assert false
+  | Afetch | Ainv | Ardata _ | Agrant _ | Algrant _ | Amove -> assert false);
+  maybe_migrate t hs
 
 let on_proc_msg t hs me body =
   match body with
-  | Hfetch ->
-      (* The home revokes ownership; this processor keeps a (reader) copy. *)
-      send_data t hs ~src:me ~dst:hs.home Hfdata
-  | Hinv ->
+  | Afetch -> send_data t hs ~src:me ~dst:hs.home Afdata
+  | Ainv ->
       if Hashtbl.mem hs.valid me then trace_copy t hs me `Drop;
       Hashtbl.remove hs.valid me;
-      send_ctl t hs ~src:me ~dst:hs.home Hinvack
-  | Hrdata { reader; epoch; v } ->
+      send_ctl t hs ~src:me ~dst:hs.home Ainvack
+  | Ardata { reader; epoch; cacheable; v } ->
       assert (reader = me);
-      if epoch = hs.epoch then begin
+      if cacheable && epoch = hs.epoch then begin
         if not (Hashtbl.mem hs.valid me) then trace_copy t hs me `Add;
         Hashtbl.replace hs.valid me ()
       end;
@@ -215,7 +288,7 @@ let on_proc_msg t hs me body =
           Hashtbl.remove t.read_waiters key;
           k v
       | None -> assert false)
-  | Hgrant { origin } ->
+  | Agrant { origin } ->
       assert (origin = me);
       if not (Hashtbl.mem hs.valid me) then trace_copy t hs me `Add;
       Hashtbl.replace hs.valid me ();
@@ -225,7 +298,7 @@ let on_proc_msg t hs me body =
           Hashtbl.remove t.write_waiters key;
           k ()
       | None -> assert false)
-  | Hlgrant { origin } ->
+  | Algrant { origin } ->
       assert (origin = me);
       let key = wkey t hs.var.Types.id me in
       (match Hashtbl.find_opt t.lock_waiters key with
@@ -233,22 +306,32 @@ let on_proc_msg t hs me body =
           Hashtbl.remove t.lock_waiters key;
           k ()
       | None -> assert false)
-  | Hrreq _ | Hwreq _ | Hfdata | Hinvack | Hlock _ | Hunlock -> assert false
+  | Arreq _ | Awreq _ | Afdata | Ainvack | Alock _ | Aunlock | Amove ->
+      assert false
 
 let handle t (msg : Network.msg) =
   match msg.Network.m_payload with
-  | Fh { var_id; body } ->
+  | Ad { body = Amove; _ } ->
+      (* State already moved with the [home] field; the message only pays
+         the transfer cost. Tolerated even if the variable was retired
+         while the transfer travelled. *)
+      true
+  | Ad { var_id; body } ->
       let hs =
         match Hashtbl.find_opt t.vars var_id with
         | Some s -> s
-        | None -> failwith "Fixed_home.handle: message for unknown variable"
+        | None -> failwith "Adaptive.handle: message for unknown variable"
       in
       let me = msg.Network.m_dst in
       (match body with
-      | Hrreq _ | Hwreq _ | Hfdata | Hinvack | Hlock _ | Hunlock ->
-          on_home_msg t hs body
-      | Hfetch | Hinv | Hrdata _ | Hgrant _ | Hlgrant _ ->
-          on_proc_msg t hs me body);
+      | Arreq _ | Awreq _ | Afdata | Ainvack | Alock _ | Aunlock ->
+          if me <> hs.home then
+            (* The home migrated while this request travelled: forward. *)
+            send_ctl t hs ~src:me ~dst:hs.home body
+          else on_home_msg t hs body
+      | Afetch | Ainv | Ardata _ | Agrant _ | Algrant _ ->
+          on_proc_msg t hs me body
+      | Amove -> assert false);
       true
   | _ -> false
 
@@ -266,32 +349,31 @@ let sole_copy t p var =
 let read t p var ~k =
   let hs = get t var in
   Hashtbl.replace t.read_waiters (wkey t var.Types.id p) k;
-  send_ctl t hs ~src:p ~dst:hs.home (Hrreq { origin = p })
+  send_ctl t hs ~src:p ~dst:hs.home (Arreq { origin = p })
 
 let write t p var value ~k =
   let hs = get t var in
   Hashtbl.replace t.write_waiters (wkey t var.Types.id p) k;
-  send_ctl t hs ~src:p ~dst:hs.home (Hwreq { origin = p; value })
+  send_ctl t hs ~src:p ~dst:hs.home (Awreq { origin = p; value })
 
 let lock t p var ~k =
   let hs = get t var in
   Hashtbl.replace t.lock_waiters (wkey t var.Types.id p) k;
-  send_ctl t hs ~src:p ~dst:hs.home (Hlock { origin = p })
+  send_ctl t hs ~src:p ~dst:hs.home (Alock { origin = p })
 
 let unlock t p var =
   let hs = get t var in
-  send_ctl t hs ~src:p ~dst:hs.home Hunlock
+  send_ctl t hs ~src:p ~dst:hs.home Aunlock
 
 let ncopies t var = Hashtbl.length (get t var).valid
+
 let copy_holders t var =
   List.sort compare
     (Hashtbl.fold (fun p () acc -> p :: acc) (get t var).valid [])
 
+let migrations t = t.migrations
 let retire t (var : Types.var) = Hashtbl.remove t.vars var.Types.id
 
-(* Structural invariants at quiescence: no home transaction in flight, at
-   least one valid copy, every valid copy registered at the home, and the
-   exclusive owner (if any) actually holding a valid copy. *)
 let validate t (var : Types.var) =
   let hs = get t var in
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
@@ -317,13 +399,19 @@ let validate t (var : Types.var) =
 (* STRATEGY instance                                                    *)
 (* ------------------------------------------------------------------ *)
 
-module Impl : Strategy.STRATEGY with type t = t and type config = unit =
-struct
+module Impl :
+  Strategy.STRATEGY
+    with type t = t
+     and type config = Strategy.adaptive_config = struct
   type nonrec t = t
-  type config = unit
+  type config = Strategy.adaptive_config
 
-  let id = "fixed-home"
-  let create net () = create net ()
+  let id = "adaptive"
+
+  let create net (c : Strategy.adaptive_config) =
+    create net ~replicate_after:c.replicate_after
+      ~migrate_after:c.migrate_after ()
+
   let sync_deco _ = None
   let handle = handle
   let cached = cached
@@ -333,12 +421,9 @@ struct
   let lock = lock
   let unlock = unlock
   let ncopies = ncopies
-
-  (* Copy holders already are mesh processors under fixed home. *)
   let copy_holder_places = copy_holders
-
   let evictions _ = 0
-  let remaps _ = 0
+  let remaps = migrations
   let retire = retire
   let validate = validate
 end

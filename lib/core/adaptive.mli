@@ -1,0 +1,49 @@
+(** Read/write-frequency-adaptive replication with home migration.
+
+    The fixed-home ownership protocol with two adaptive twists from the
+    data-grids replication literature:
+
+    - a reader earns a cached replica only after [replicate_after]
+      consecutive home read misses since its last invalidation, so cold
+      or write-shared data stays un-replicated and its writes pay no
+      invalidation fan-out;
+    - every [migrate_after] home transactions the home re-examines the
+      per-processor request tally and migrates to a processor that
+      accounts for at least half of the window (paying one data-sized
+      state-transfer message); requests already in flight toward the old
+      home are forwarded. *)
+
+type t
+
+val create :
+  Diva_simnet.Network.t -> ?replicate_after:int -> ?migrate_after:int -> unit -> t
+(** Defaults come from {!Strategy.adaptive_defaults}. Raises
+    [Invalid_argument] if either parameter is < 1. *)
+
+val home : t -> Types.var -> Types.proc
+(** The variable's {e current} home processor. *)
+
+val handle : t -> Diva_simnet.Network.msg -> bool
+
+val cached : t -> Types.proc -> Types.var -> bool
+val sole_copy : t -> Types.proc -> Types.var -> bool
+
+val read : t -> Types.proc -> Types.var -> k:(Value.t -> unit) -> unit
+val write : t -> Types.proc -> Types.var -> Value.t -> k:(unit -> unit) -> unit
+val lock : t -> Types.proc -> Types.var -> k:(unit -> unit) -> unit
+val unlock : t -> Types.proc -> Types.var -> unit
+
+val ncopies : t -> Types.var -> int
+val copy_holders : t -> Types.var -> Types.proc list
+
+val migrations : t -> int
+(** Number of home migrations performed so far (reported as [remaps]). *)
+
+val retire : t -> Types.var -> unit
+
+val validate : t -> Types.var -> (unit, string) result
+(** Structural invariants at quiescence; see {!Fixed_home.validate}. *)
+
+module Impl :
+  Strategy.STRATEGY with type t = t and type config = Strategy.adaptive_config
+(** Adaptive replication packed as a first-class strategy. *)

@@ -1,4 +1,3 @@
-module Deco = Diva_mesh.Decomposition
 module Embedding = Diva_mesh.Embedding
 module Network = Diva_simnet.Network
 module Machine = Diva_simnet.Machine
@@ -7,31 +6,28 @@ module Prng = Diva_util.Prng
 module Trace = Diva_obs.Trace
 module Faults = Diva_faults.Faults
 
-type strategy =
-  | Access_tree of {
-      arity : int;
-      leaf_size : int;
-      embedding : Embedding.kind;
-      capacity : int option;
-      combining : bool;
-      remap_threshold : int option;
-    }
+type strategy = Strategy.spec =
+  | Access_tree of Strategy.tree_config
   | Fixed_home
+  | Adaptive of Strategy.adaptive_config
 
 let access_tree ?(leaf_size = 1) ?(embedding = Embedding.Regular) ?capacity
-    ?(combining = true) ?remap_threshold ~arity () =
-  Access_tree { arity; leaf_size; embedding; capacity; combining; remap_threshold }
+    ?(combining = true) ?remap_threshold ?(eviction = Strategy.Lru)
+    ?(prefetch = false) ~arity () =
+  Access_tree
+    { Strategy.arity; leaf_size; embedding; capacity; combining;
+      remap_threshold; eviction; prefetch }
 
-let strategy_name = function
-  | Fixed_home -> "fixed home"
-  | Access_tree { arity; leaf_size; _ } ->
-      Deco.strategy_name ~arity:(Deco.arity_of_int arity) ~leaf_size
+let adaptive ?(replicate_after = Strategy.adaptive_defaults.Strategy.replicate_after)
+    ?(migrate_after = Strategy.adaptive_defaults.Strategy.migrate_after) () =
+  Adaptive { Strategy.replicate_after; migrate_after }
 
-type impl = Tree of Access_tree.t | Home of Fixed_home.t
+let strategy_name = Strategy.spec_name
 
 type t = {
   network : Network.t;
-  impl : impl;
+  inst : Strategy.instance;
+  tree : Access_tree.t option;  (* tree-specific observability hooks *)
   sync : Sync.t;
   read_hit_cost : float;
   write_hit_cost : float;
@@ -50,26 +46,21 @@ type 'a var = {
 }
 
 let create network ~strategy ?(read_hit_ops = 10) ?(write_hit_ops = 10) () =
-  let mesh = Network.mesh network in
+  (* RNG draw order is part of the bit-identity contract with the golden
+     traces: (1) split off the DSM stream, (2) instantiate the strategy
+     (the access tree splits the network stream for its remap RNG),
+     (3) split the sync stream, (4) draw the variable seed. *)
   let rng = Prng.split (Network.rng network) in
-  let impl, sync_deco =
-    match strategy with
-    | Access_tree { arity; leaf_size; embedding; capacity; combining;
-                    remap_threshold } ->
-        let deco = Deco.build mesh ~arity:(Deco.arity_of_int arity) ~leaf_size in
-        ( Tree
-            (Access_tree.create network deco ~embedding ?capacity ~combining
-               ?remap_threshold ()),
-          deco )
-    | Fixed_home ->
-        (Home (Fixed_home.create network ()), Deco.build mesh ~arity:Deco.Four ~leaf_size:1)
+  let resolved = Registry.instantiate network strategy in
+  let sync =
+    Sync.create network resolved.Registry.sync_deco ~rng:(Prng.split rng) ()
   in
-  let sync = Sync.create network sync_deco ~rng:(Prng.split rng) () in
   let machine = Network.machine network in
   let t =
     {
       network;
-      impl;
+      inst = resolved.Registry.inst;
+      tree = resolved.Registry.tree;
       sync;
       read_hit_cost = float_of_int read_hit_ops *. machine.Machine.int_op_time;
       write_hit_cost = float_of_int write_hit_ops *. machine.Machine.int_op_time;
@@ -81,14 +72,13 @@ let create network ~strategy ?(read_hit_ops = 10) ?(write_hit_ops = 10) () =
       n_write_hits = 0;
     }
   in
-  let dispatch net msg =
-    let consumed =
-      (match t.impl with
-      | Tree at -> Access_tree.handle at msg
-      | Home fh -> Fixed_home.handle fh msg)
-      || Sync.handle t.sync msg
-    in
-    if not consumed then Network.mailbox_deliver net msg
+  let dispatch =
+    (* Unpack the existential once; the closure is installed on every
+       node, so this match must not sit on the per-message path. *)
+    let (Strategy.Instance ((module S), s)) = t.inst in
+    fun net msg ->
+      if not (S.handle s msg || Sync.handle t.sync msg) then
+        Network.mailbox_deliver net msg
   in
   for node = 0 to Network.num_nodes network - 1 do
     Network.set_handler network node dispatch
@@ -182,11 +172,7 @@ let open_txn t =
 
 let read t p var =
   t.n_reads <- t.n_reads + 1;
-  let hit =
-    match t.impl with
-    | Tree at -> Access_tree.cached at p var.v
-    | Home fh -> Fixed_home.cached fh p var.v
-  in
+  let hit = Strategy.cached t.inst p var.v in
   if hit then begin
     t.n_read_hits <- t.n_read_hits + 1;
     Network.charge t.network p t.read_hit_cost;
@@ -198,10 +184,7 @@ let read t p var =
     let t0 = Network.now t.network in
     let txn = open_txn t in
     let packed =
-      blocking_op t p (fun resume ->
-          match t.impl with
-          | Tree at -> Access_tree.read at p var.v ~k:resume
-          | Home fh -> Fixed_home.read fh p var.v ~k:resume)
+      blocking_op t p (fun resume -> Strategy.read t.inst p var.v ~k:resume)
     in
     trace_op t p (Some var.v) Trace.Read ~t0 ~hit:false ~txn
       ~completed_by:(Network.cur_msg t.network);
@@ -211,11 +194,7 @@ let read t p var =
 let write t p var x =
   t.n_writes <- t.n_writes + 1;
   let value = var.inj x in
-  let sole =
-    match t.impl with
-    | Tree at -> Access_tree.sole_copy at p var.v
-    | Home fh -> Fixed_home.sole_copy fh p var.v
-  in
+  let sole = Strategy.sole_copy t.inst p var.v in
   if sole then begin
     t.n_write_hits <- t.n_write_hits + 1;
     Network.charge t.network p t.write_hit_cost;
@@ -226,11 +205,7 @@ let write t p var x =
     Network.flush_charge t.network p;
     let t0 = Network.now t.network in
     let txn = open_txn t in
-    blocking_op t p (fun resume ->
-        let k () = resume () in
-        match t.impl with
-        | Tree at -> Access_tree.write at p var.v value ~k
-        | Home fh -> Fixed_home.write fh p var.v value ~k);
+    blocking_op t p (fun resume -> Strategy.write t.inst p var.v value ~k:resume);
     trace_op t p (Some var.v) Trace.Write ~t0 ~hit:false ~txn
       ~completed_by:(Network.cur_msg t.network)
   end
@@ -239,11 +214,7 @@ let lock t p var =
   Network.flush_charge t.network p;
   let t0 = Network.now t.network in
   let txn = open_txn t in
-  blocking_op t p (fun resume ->
-      let k () = resume () in
-      match t.impl with
-      | Tree at -> Access_tree.lock at p var.v ~k
-      | Home fh -> Fixed_home.lock fh p var.v ~k);
+  blocking_op t p (fun resume -> Strategy.lock t.inst p var.v ~k:resume);
   trace_op t p (Some var.v) Trace.Lock ~t0 ~hit:false ~txn
     ~completed_by:(Network.cur_msg t.network)
 
@@ -254,9 +225,7 @@ let unlock t p var =
   let txn = open_txn t in
   trace_op t p (Some var.v) Trace.Unlock ~t0:(Network.now t.network) ~hit:true
     ~txn;
-  match t.impl with
-  | Tree at -> Access_tree.unlock at p var.v
-  | Home fh -> Fixed_home.unlock fh p var.v
+  Strategy.unlock t.inst p var.v
 
 let barrier t p =
   Network.flush_charge t.network p;
@@ -286,35 +255,12 @@ let writes t = t.n_writes
 let read_hits t = t.n_read_hits
 let write_hits t = t.n_write_hits
 
-let ncopies t var =
-  match t.impl with
-  | Tree at -> Access_tree.ncopies at var.v
-  | Home fh -> Fixed_home.ncopies fh var.v
-
-let evictions t =
-  match t.impl with Tree at -> Access_tree.evictions at | Home _ -> 0
-
-let remaps t =
-  match t.impl with Tree at -> Access_tree.remaps at | Home _ -> 0
-
-let copy_holder_places t var =
-  match t.impl with
-  | Tree at ->
-      List.sort_uniq compare
-        (List.map (Access_tree.place at var.v) (Access_tree.copy_holders at var.v))
-  | Home fh -> Fixed_home.copy_holders fh var.v
-
-let access_tree_handle t =
-  match t.impl with Tree at -> Some at | Home _ -> None
-
+let ncopies t var = Strategy.ncopies t.inst var.v
+let evictions t = Strategy.evictions t.inst
+let remaps t = Strategy.remaps t.inst
+let copy_holder_places t var = Strategy.copy_holder_places t.inst var.v
+let strategy_id t = Strategy.id t.inst
+let access_tree_handle t = t.tree
 let typed var = var.v
-
-let retire_var t var =
-  match t.impl with
-  | Tree at -> Access_tree.retire at var.v
-  | Home fh -> Fixed_home.retire fh var.v
-
-let validate_var t var =
-  match t.impl with
-  | Tree at -> Access_tree.validate at var.v
-  | Home _ -> Ok ()
+let retire_var t var = Strategy.retire t.inst var.v
+let validate_var t var = Strategy.validate t.inst var.v

@@ -5,21 +5,14 @@
     per simulation, declares global variables, and spawns one fiber per
     processor; fibers then call {!read}, {!write}, {!lock}, {!unlock} and
     {!barrier} exactly like the applications in the paper call the DIVA
-    runtime. The data management strategy — access tree or fixed home — is
-    chosen at creation time and is completely transparent to the
+    runtime. The data management strategy — any {!Registry} contender —
+    is chosen at creation time and is completely transparent to the
     application code. *)
 
-type strategy =
-  | Access_tree of {
-      arity : int;  (** 2, 4 or 16 *)
-      leaf_size : int;  (** terminate the decomposition at submeshes <= this *)
-      embedding : Diva_mesh.Embedding.kind;
-      capacity : int option;  (** per-processor memory bound in bytes *)
-      combining : bool;  (** read combining (on by default) *)
-      remap_threshold : int option;
-          (** enable the FOCS'97 remapping of hot tree nodes *)
-    }
+type strategy = Strategy.spec =
+  | Access_tree of Strategy.tree_config
   | Fixed_home
+  | Adaptive of Strategy.adaptive_config
 
 val access_tree :
   ?leaf_size:int ->
@@ -27,14 +20,21 @@ val access_tree :
   ?capacity:int ->
   ?combining:bool ->
   ?remap_threshold:int ->
+  ?eviction:Strategy.eviction ->
+  ?prefetch:bool ->
   arity:int ->
   unit ->
   strategy
 (** Convenience constructor with the paper's defaults (leaf size 1, regular
-    embedding, unbounded memory, combining on). *)
+    embedding, unbounded memory, combining on, LRU eviction, no
+    prefetching). *)
+
+val adaptive : ?replicate_after:int -> ?migrate_after:int -> unit -> strategy
+(** Frequency-adaptive replication with home migration; defaults from
+    {!Strategy.adaptive_defaults}. *)
 
 val strategy_name : strategy -> string
-(** "2-ary", "4-16-ary", "fixed home", ... as the paper names them. *)
+(** "2-ary", "4-16-ary", "fixed home", "4-ary+prefetch", ... *)
 
 type t
 
@@ -96,10 +96,13 @@ val write_hits : t -> int
 
 val ncopies : t -> 'a var -> int
 val evictions : t -> int
-(** LRU evictions (always 0 for the fixed home strategy). *)
+(** Capacity evictions (always 0 for the home strategies). *)
 
 val remaps : t -> int
-(** Tree-node remappings (0 unless [remap_threshold] was given). *)
+(** Tree-node remappings / home migrations (0 unless enabled). *)
+
+val strategy_id : t -> string
+(** The strategy family identifier ("access-tree", "fixed-home", ...). *)
 
 (** {2 Testing hooks} *)
 
@@ -117,5 +120,5 @@ val retire_var : t -> 'a var -> unit
     as the Barnes-Hut tree builder). *)
 
 val validate_var : t -> 'a var -> (unit, string) result
-(** Structural invariant check of the strategy's state for this variable
-    (access tree only; trivially [Ok] for the fixed home strategy). *)
+(** Structural invariant check of the strategy's state for this variable,
+    meaningful while no transaction is in flight (post-barrier). *)

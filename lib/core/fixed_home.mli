@@ -42,3 +42,12 @@ val copy_holders : t -> Types.var -> Types.proc list
 val retire : t -> Types.var -> unit
 (** Drop all protocol state of a variable that will never be accessed
     again. *)
+
+val validate : t -> Types.var -> (unit, string) result
+(** Check the protocol's structural invariants for a variable while no
+    transaction is in flight: the home transaction queue is drained, every
+    valid copy is tracked by the home, and the exclusive owner (if any)
+    holds a valid copy. For tests. *)
+
+module Impl : Strategy.STRATEGY with type t = t and type config = unit
+(** Fixed home packed as a first-class strategy. *)

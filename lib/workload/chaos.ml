@@ -15,7 +15,11 @@ type config = {
   lock_every : int;
   read_ratio : float;
   verify_determinism : bool;
+  strategies : (string * Dsm.strategy) list;
 }
+
+let paper_strategies =
+  [ ("fixed-home", Dsm.Fixed_home); ("tree-4", Dsm.access_tree ~arity:4 ()) ]
 
 let default =
   {
@@ -27,6 +31,7 @@ let default =
     lock_every = 4;
     read_ratio = 0.7;
     verify_determinism = true;
+    strategies = paper_strategies;
   }
 
 type outcome = {
@@ -41,9 +46,6 @@ type outcome = {
   oracle_error : string option;
   deterministic : bool option;
 }
-
-let strategies =
-  [ ("fixed-home", Dsm.Fixed_home); ("tree-4", Dsm.access_tree ~arity:4 ()) ]
 
 let spec_of cfg =
   Spec.make ~num_vars:cfg.num_vars ~lock_every:cfg.lock_every
@@ -103,6 +105,8 @@ let progress_line o =
 let run ?(progress = fun _ -> ()) ?(domains = 1) cfg =
   if cfg.schedules <= 0 then
     invalid_arg "Chaos.run: schedule count must be positive";
+  if cfg.strategies = [] then
+    invalid_arg "Chaos.run: strategy list must be non-empty";
   let mesh = Mesh.create_nd ~dims:cfg.dims in
   let num_nodes = Mesh.num_nodes mesh and num_links = Mesh.num_links mesh in
   (* The campaign is a flat list of (schedule x strategy) runs, each fully
@@ -117,7 +121,7 @@ let run ?(progress = fun _ -> ()) ?(domains = 1) cfg =
           Schedule.generate ~seed:(cfg.seed + i) ~num_nodes ~num_links ()
         in
         List.map (fun (sname, strategy) -> (i, sched, sname, strategy))
-          strategies)
+          cfg.strategies)
       (List.init cfg.schedules Fun.id)
   in
   let eval (i, sched, sname, strategy) =
@@ -165,7 +169,7 @@ let manifest cfg outcomes =
   Json.Obj
     [
       ("format", Json.String "diva-chaos");
-      ("version", Json.Int 1);
+      ("version", Json.Int 2);
       ( "dims",
         Json.List (Array.to_list (Array.map (fun d -> Json.Int d) cfg.dims)) );
       ("seed", Json.Int cfg.seed);
@@ -174,6 +178,9 @@ let manifest cfg outcomes =
       ("num_vars", Json.Int cfg.num_vars);
       ("lock_every", Json.Int cfg.lock_every);
       ("read_ratio", Json.Float cfg.read_ratio);
+      ( "strategies",
+        Json.List
+          (List.map (fun (n, _) -> Json.String n) cfg.strategies) );
       ("passed", Json.Bool (passed outcomes));
       ( "runs",
         Json.List

@@ -3,8 +3,10 @@
 
     One chaos campaign sweeps [schedules] seed-generated fault schedules
     ({!Diva_faults.Schedule.generate}, seeds [seed], [seed+1], ...) across
-    both data-management strategies (fixed home and the 4-ary access
-    tree). Each run drives the {!Generator} with an oracle attached; after
+    a configurable list of data-management strategies — the paper's pair
+    by default, or any selection from the {!Diva_core.Registry} (divasim's
+    [chaos] subcommand defaults to every registered contender). Each run
+    drives the {!Generator} with an oracle attached; after
     the run the recorded history is checked for per-variable
     linearizability, and — when [verify_determinism] is set — the run is
     repeated and every measurement and fault counter compared, proving
@@ -19,11 +21,17 @@ type config = {
   lock_every : int;  (** every n-th op runs under the key's lock (0 = never) *)
   read_ratio : float;  (** probability that an op is a read *)
   verify_determinism : bool;  (** re-run each case and compare *)
+  strategies : (string * Diva_core.Dsm.strategy) list;
+      (** contenders swept by the campaign (non-empty) *)
 }
+
+val paper_strategies : (string * Diva_core.Dsm.strategy) list
+(** The paper's pair: fixed home and the 4-ary access tree. *)
 
 val default : config
 (** 4x4 mesh, 10 schedules from seed 42, 60 ops/proc over 24 keys at read
-    ratio 0.7, a lock every 4th op, determinism verification on. *)
+    ratio 0.7, a lock every 4th op, determinism verification on, over
+    {!paper_strategies}. *)
 
 (** Result of one (schedule, strategy) run. *)
 type outcome = {
@@ -46,12 +54,13 @@ val run : ?progress:(string -> unit) -> ?domains:int -> config -> outcome list
     (and any manifest derived from it) is identical for every [domains]
     value — only wall-clock changes. Progress lines are then emitted after
     the campaign instead of live, so they never interleave. Raises
-    [Invalid_argument] on a non-positive [schedules] count. *)
+    [Invalid_argument] on a non-positive [schedules] count or an empty
+    strategy list. *)
 
 val passed : outcome list -> bool
 (** No oracle violation and no determinism failure in any run. *)
 
 val manifest : config -> outcome list -> Diva_obs.Json.t
-(** Machine-readable campaign report (format ["diva-chaos"], version 1):
+(** Machine-readable campaign report (format ["diva-chaos"], version 2):
     the configuration, every run's counters and verdicts, and the full
     fault schedules for replay. *)

@@ -37,4 +37,37 @@ let () =
   let sink = Streaming.file_sink oc header in
   List.iter (Trace.emit sink) (Trace.events tr);
   close_out oc;
-  Printf.printf "wrote %s (%d events)\n" path (Trace.count tr)
+  Printf.printf "wrote %s (%d events)\n" path (Trace.count tr);
+  (* One golden event trace per strategy-zoo contender, same fixed matmul
+     run; the byte tests in test_golden_strategies.ml replay these. The
+     header names the registry entry, not the display name. *)
+  List.iter
+    (fun name ->
+      let spec =
+        match Diva_core.Registry.find name with
+        | Some s -> s
+        | None -> failwith ("unknown registry strategy: " ^ name)
+      in
+      let tr = Trace.create () in
+      ignore
+        (Runner.run_matmul ~seed:17 ~rows:2 ~cols:2 ~block:64
+           ~obs:{ Runner.null_obs with Runner.obs_trace = tr }
+           (Runner.Strategy spec));
+      let header =
+        Streaming.make_header
+          ~params:[ ("block", Diva_obs.Json.Int 64) ]
+          ~app:"matmul" ~dims:[| 2; 2 |] ~strategy:name ~seed:17
+          ~overheads:
+            { Diva_obs.Analysis.send_overhead =
+                m.Diva_simnet.Machine.send_overhead;
+              recv_overhead = m.Diva_simnet.Machine.recv_overhead;
+              local_overhead = m.Diva_simnet.Machine.local_overhead }
+          ()
+      in
+      let path = Printf.sprintf "test/data/golden_events_2x2_%s.jsonl" name in
+      let oc = open_out_bin path in
+      let sink = Streaming.file_sink oc header in
+      List.iter (Trace.emit sink) (Trace.events tr);
+      close_out oc;
+      Printf.printf "wrote %s (%d events)\n" path (Trace.count tr))
+    [ "prefetch_tree"; "adaptive_repl"; "capacity_lru"; "capacity_freq" ]

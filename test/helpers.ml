@@ -20,6 +20,13 @@ let strategies =
      Diva_core.Dsm.access_tree ~arity:4 ~embedding:Diva_mesh.Embedding.Random ());
     ("4-ary-no-combining", Diva_core.Dsm.access_tree ~arity:4 ~combining:false ());
     ("fixed-home", Diva_core.Dsm.Fixed_home);
+    (* Strategy-zoo contenders. Append only: some suites index this list. *)
+    ("4-ary-prefetch", Diva_core.Dsm.access_tree ~arity:4 ~prefetch:true ());
+    ("adaptive-home", Diva_core.Dsm.adaptive ());
+    ("4-ary-capacity-lru", Diva_core.Dsm.access_tree ~arity:4 ~capacity:512 ());
+    ("4-ary-capacity-freq",
+     Diva_core.Dsm.access_tree ~arity:4 ~capacity:512
+       ~eviction:Diva_core.Strategy.Freq ());
   ]
 
 let make_net ?(seed = 7) ~rows ~cols () = Network.create ~seed ~rows ~cols ()

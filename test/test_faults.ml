@@ -270,6 +270,7 @@ let test_chaos_campaign () =
       lock_every = 4;
       read_ratio = 0.7;
       verify_determinism = false;
+      strategies = Chaos.paper_strategies;
     }
   in
   let outcomes = Chaos.run cfg in
@@ -289,6 +290,43 @@ let test_chaos_campaign () =
   Alcotest.(check bool) "campaign verdict" true (Chaos.passed outcomes);
   Alcotest.(check bool) "some schedule actually lost messages" true
     (List.exists (fun o -> o.Chaos.lost > 0) outcomes)
+
+(* A short fault campaign over the full strategy registry — prefetching,
+   adaptive migration and capacity eviction each face injected faults
+   with the linearizability oracle attached, and every run is replayed to
+   prove schedule + seed still determine the execution. *)
+let test_chaos_registry_zoo () =
+  let strategies =
+    List.map
+      (fun (name, spec) -> (name, (spec : Diva_core.Strategy.spec)))
+      (Diva_core.Registry.contenders ())
+  in
+  let cfg =
+    {
+      Chaos.default with
+      Chaos.dims = [| 4; 4 |];
+      schedules = 3;
+      seed = 7;
+      ops = 20;
+      verify_determinism = true;
+      strategies;
+    }
+  in
+  let outcomes = Chaos.run cfg in
+  Alcotest.(check int) "runs" (3 * List.length strategies)
+    (List.length outcomes);
+  List.iter
+    (fun o ->
+      (match o.Chaos.oracle_error with
+      | None -> ()
+      | Some e ->
+          Alcotest.failf "schedule %d (%s): coherence violation: %s"
+            o.Chaos.index o.Chaos.strategy e);
+      if o.Chaos.deterministic <> Some true then
+        Alcotest.failf "schedule %d (%s): non-deterministic replay"
+          o.Chaos.index o.Chaos.strategy)
+    outcomes;
+  Alcotest.(check bool) "campaign verdict" true (Chaos.passed outcomes)
 
 let suite =
   [
@@ -313,4 +351,6 @@ let suite =
       test_oracle_catches_broken_protocol;
     Alcotest.test_case "chaos campaign: 20 schedules, both strategies" `Slow
       test_chaos_campaign;
+    Alcotest.test_case "chaos campaign: full strategy registry" `Slow
+      test_chaos_registry_zoo;
   ]

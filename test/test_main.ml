@@ -8,6 +8,10 @@ let () =
       ("dsm", Test_dsm.suite);
       ("apps", Test_apps.suite);
       ("invariants", Test_invariants.suite);
+      ("strategy-conformance", Test_strategy_conformance.suite);
+      ("strategy-zoo", Test_strategy_zoo.suite);
+      ("capacity-analytics", Test_capacity_analytics.suite);
+      ("golden-strategies", Test_golden_strategies.suite);
       ("strategies", Test_strategies.suite);
       ("nbody-geom", Test_nbody_geom.suite);
       ("mesh-3d", Test_mesh3d.suite);

@@ -1,0 +1,139 @@
+(* Unit tests for the strategy-zoo additions: the registry's name
+   resolution, the decorated display names, and the observable behaviour
+   that distinguishes the new contenders from the paper's pair —
+   adaptive home migration actually migrating, and tree prefetching
+   actually planting extra copies. *)
+
+module Dsm = Diva_core.Dsm
+module Strategy = Diva_core.Strategy
+module Registry = Diva_core.Registry
+
+let test_registry_names () =
+  Alcotest.(check (list string))
+    "presentation order"
+    [
+      "access_tree";
+      "fixed_home";
+      "prefetch_tree";
+      "adaptive_repl";
+      "capacity_lru";
+      "capacity_freq";
+    ]
+    (Registry.names ())
+
+let test_registry_find () =
+  let canonical name = Registry.find name in
+  List.iter
+    (fun (alias, target) ->
+      if Registry.find alias <> canonical target then
+        Alcotest.failf "alias %S should resolve to %S" alias target)
+    [
+      ("Access-Tree", "access_tree");
+      ("ACCESS_TREE", "access_tree");
+      ("adaptive", "adaptive_repl");
+      ("adaptive-home", "adaptive_repl");
+      ("home", "fixed_home");
+      ("fixedhome", "fixed_home");
+      ("capacity-LRU", "capacity_lru");
+    ];
+  (match Registry.find "fixed_home" with
+  | Some Dsm.Fixed_home -> ()
+  | _ -> Alcotest.fail "fixed_home should resolve to Fixed_home");
+  Alcotest.(check bool) "unknown name" true (Registry.find "bogus" = None);
+  Alcotest.(check int) "contenders cover every entry"
+    (List.length Registry.entries)
+    (List.length (Registry.contenders ()))
+
+let test_display_names () =
+  let name n =
+    match Registry.find n with
+    | Some spec -> Dsm.strategy_name spec
+    | None -> Alcotest.failf "missing registry entry %s" n
+  in
+  List.iter
+    (fun (entry, expect) ->
+      Alcotest.(check string) entry expect (name entry))
+    [
+      ("access_tree", "4-ary");
+      ("fixed_home", "fixed home");
+      ("prefetch_tree", "4-ary+prefetch");
+      ("adaptive_repl", "adaptive-home");
+      ("capacity_lru", "4-ary+cap64k");
+      ("capacity_freq", "4-ary+cap64k+freq-evict");
+    ]
+
+let test_strategy_ids () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let net = Helpers.make_net ~seed:3 ~rows:2 ~cols:2 () in
+      let dsm = Dsm.create net ~strategy:e.Registry.spec () in
+      let expect =
+        match e.Registry.spec with
+        | Dsm.Access_tree _ -> "access-tree"
+        | Dsm.Fixed_home -> "fixed-home"
+        | Dsm.Adaptive _ -> "adaptive"
+      in
+      Alcotest.(check string)
+        (e.Registry.name ^ " family id") expect (Dsm.strategy_id dsm))
+    Registry.entries
+
+(* A writer on proc 0 and a reader on proc 1 alternate under barriers.
+   Whichever processor the variable's home hashes to, the remote side's
+   transactions dominate some tally window, so the home migrates at
+   least once — and correctness must survive the move. *)
+let test_adaptive_migration () =
+  let net, dsm =
+    Helpers.make_dsm ~seed:5 ~rows:4 ~cols:4 (Dsm.adaptive ~migrate_after:8 ())
+  in
+  let v = Dsm.create_var dsm ~owner:0 ~size:64 0 in
+  Helpers.run_procs net (fun p ->
+      for i = 1 to 30 do
+        if p = 0 then Dsm.write dsm 0 v i;
+        Dsm.barrier dsm p;
+        if p = 1 then
+          Alcotest.(check int) "reader sees latest" i (Dsm.read dsm 1 v);
+        Dsm.barrier dsm p
+      done;
+      Alcotest.(check int) "final value everywhere" 30 (Dsm.read dsm p v));
+  Alcotest.(check bool) "home migrated at least once" true
+    (Dsm.remaps dsm >= 1);
+  match Dsm.validate_var dsm v with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "post-run validate: %s" e
+
+(* Four of sixteen processors read a freshly written variable. The plain
+   tree installs copies only on the reply paths; with prefetching the
+   same run pushes speculative copies one level further down, so strictly
+   more copies exist at quiescence. *)
+let ncopies_after_partial_broadcast strategy =
+  let net, dsm = Helpers.make_dsm ~seed:9 ~rows:4 ~cols:4 strategy in
+  let v = Dsm.create_var dsm ~owner:5 ~size:256 0 in
+  Helpers.run_procs net (fun p ->
+      if p = 5 then Dsm.write dsm p v 42;
+      Dsm.barrier dsm p;
+      if p < 4 then Alcotest.(check int) "read sees write" 42 (Dsm.read dsm p v);
+      Dsm.barrier dsm p);
+  (match Dsm.validate_var dsm v with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "post-run validate: %s" e);
+  Dsm.ncopies dsm v
+
+let test_prefetch_plants_copies () =
+  let plain = ncopies_after_partial_broadcast (Dsm.access_tree ~arity:4 ()) in
+  let prefetched =
+    ncopies_after_partial_broadcast (Dsm.access_tree ~arity:4 ~prefetch:true ())
+  in
+  if prefetched <= plain then
+    Alcotest.failf "prefetch should plant extra copies (plain %d, prefetch %d)"
+      plain prefetched
+
+let suite =
+  [
+    Alcotest.test_case "registry names" `Quick test_registry_names;
+    Alcotest.test_case "registry aliases resolve" `Quick test_registry_find;
+    Alcotest.test_case "display names" `Quick test_display_names;
+    Alcotest.test_case "family ids" `Quick test_strategy_ids;
+    Alcotest.test_case "adaptive home migrates" `Quick test_adaptive_migration;
+    Alcotest.test_case "prefetch plants extra copies" `Quick
+      test_prefetch_plants_copies;
+  ]
