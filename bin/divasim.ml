@@ -145,6 +145,9 @@ type obs_opts = {
   manifest_file : string option;
   record_file : string option;
   events_file : string option;
+  prof_file : string option;
+  flight_file : string option;
+  ticker : bool;
   sample_us : float;
   fault_sched : Fault_schedule.t;
 }
@@ -224,6 +227,40 @@ let obs_opts_t =
              simulation runs. Post-mortem it later with $(b,divasim analyze \
              --offline FILE) — no re-simulation needed.")
   in
+  let prof =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prof" ] ~docv:"FILE"
+          ~doc:
+            "Self-profile the simulator process and write the \
+             $(b,diva-prof/1) JSON document: per-subsystem CPU sample split, \
+             a per-window host series (events/sec, allocation, heap), GC \
+             totals and coarse region timers. Render it with $(b,divasim \
+             profile FILE). Profiling never changes the simulated execution \
+             and costs well under the bench gate's 3% wall-time budget.")
+  in
+  let flight =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:
+            "Arm the crash flight recorder: a bounded ring of the most \
+             recent trace events plus periodic health snapshots, dumped to \
+             $(docv) on an uncaught exception or the first DSM watchdog \
+             trip. Nothing is written when the run succeeds. Render a dump \
+             with $(b,divasim profile FILE).")
+  in
+  let ticker =
+    Arg.(
+      value & flag
+      & info [ "ticker" ]
+          ~doc:
+            "Print a live single-line progress/health ticker (simulated \
+             time, events, events/sec, heap) to stderr while the run \
+             executes.")
+  in
   let faults_conv =
     let parse s =
       match Fault_schedule.read s with
@@ -248,13 +285,13 @@ let obs_opts_t =
              active; the run report gains a $(b,faults) section.")
   in
   let mk trace_file metrics_file prom_file manifest_file record_file
-      events_file sample_us fault_sched =
+      events_file prof_file flight_file ticker sample_us fault_sched =
     { trace_file; metrics_file; prom_file; manifest_file; record_file;
-      events_file; sample_us; fault_sched }
+      events_file; prof_file; flight_file; ticker; sample_us; fault_sched }
   in
   Term.(
-    const mk $ trace $ metrics $ prom $ manifest $ record $ events $ sample
-    $ faults)
+    const mk $ trace $ metrics $ prom $ manifest $ record $ events $ prof
+    $ flight $ ticker $ sample $ faults)
 
 (* Fail on an unwritable artifact destination before the (possibly long)
    simulation runs, not after. *)
@@ -273,12 +310,19 @@ let preflight oo =
   check oo.prom_file;
   check oo.manifest_file;
   check oo.record_file;
-  check oo.events_file
+  check oo.events_file;
+  check oo.prof_file;
+  check oo.flight_file
 
 let machine_overheads (m : Diva_simnet.Machine.t) =
   { Diva_obs.Analysis.send_overhead = m.Diva_simnet.Machine.send_overhead;
     recv_overhead = m.Diva_simnet.Machine.recv_overhead;
     local_overhead = m.Diva_simnet.Machine.local_overhead }
+
+(* The run's armed flight recorder, if any — the uncaught-exception dump
+   in [main] needs a way to reach it after the command function has blown
+   through the stack. *)
+let armed_flight : Diva_obs.Flight.t option ref = ref None
 
 (* [--events] streams each event to disk as it is emitted, so the header
    (app, mesh, strategy, seed, machine overheads) must be known before the
@@ -305,6 +349,32 @@ let make_obs oo ~app ~dims ~strategy ~seed ~params =
            else Diva_obs.Trace.stream write),
           Some oc )
   in
+  (* The flight recorder must wrap the sink BEFORE anyone stores it:
+     [Trace.with_listener] returns a fresh sink, so wrapping later would
+     leave artifact writers reading the unwrapped (empty) one. *)
+  let flight =
+    match oo.flight_file with
+    | None -> None
+    | Some path ->
+        let fl = Diva_obs.Flight.create ~path () in
+        armed_flight := Some fl;
+        Some fl
+  in
+  let trace =
+    match flight with
+    | Some fl -> Diva_obs.Flight.wrap fl trace
+    | None -> trace
+  in
+  let prof =
+    if oo.prof_file = None && not oo.ticker then None
+    else begin
+      let p = Diva_obs.Prof.create () in
+      if oo.ticker then
+        Diva_obs.Prof.set_ticker p (fun line ->
+            Printf.eprintf "\r%-78s%!" line);
+      Some p
+    end
+  in
   ( {
       Runner.obs_trace = trace;
       obs_metrics =
@@ -313,6 +383,8 @@ let make_obs oo ~app ~dims ~strategy ~seed ~params =
         | _ -> Some (Diva_obs.Metrics.create ()));
       obs_sample_interval = oo.sample_us;
       obs_faults = oo.fault_sched;
+      obs_prof = prof;
+      obs_flight = flight;
     },
     events_oc )
 
@@ -348,6 +420,12 @@ let write_text path s =
 let write_artifacts oo (obs : Runner.obs) ~events_oc ~app ~dims ~strategy ~seed
     ~params ~measurements =
   try
+    if oo.ticker then prerr_newline ();
+    (* to_json disarms the sampler; compute the document once and reuse it
+       for prof.json and the Perfetto counter tracks. *)
+    let prof_doc =
+      Option.map Diva_obs.Prof.to_json obs.Runner.obs_prof
+    in
     (match (oo.events_file, events_oc) with
     | Some path, Some oc ->
         close_out oc;
@@ -362,6 +440,7 @@ let write_artifacts oo (obs : Runner.obs) ~events_oc ~app ~dims ~strategy ~seed
         Diva_obs.Chrome_trace.write_file ~path
           ~num_nodes:(Array.fold_left ( * ) 1 dims)
           ~metadata:[ ("diva", manifest ()) ]
+          ?prof:prof_doc
           (Diva_obs.Trace.events obs.Runner.obs_trace);
         Printf.printf "trace    -> %s (%d events)\n" path
           (Diva_obs.Trace.count obs.Runner.obs_trace)
@@ -376,8 +455,16 @@ let write_artifacts oo (obs : Runner.obs) ~events_oc ~app ~dims ~strategy ~seed
     | _ -> ());
     (match (oo.prom_file, obs.Runner.obs_metrics) with
     | Some path, Some m ->
-        write_text path (Diva_obs.Metrics.to_prometheus m);
+        write_text path
+          (Diva_obs.Metrics.to_prometheus
+             ~labels:[ ("app", app); ("strategy", strategy) ]
+             m);
         Printf.printf "prom     -> %s\n" path
+    | _ -> ());
+    (match (oo.prof_file, prof_doc) with
+    | Some path, Some doc ->
+        Diva_obs.Json.to_file path doc;
+        Printf.printf "prof     -> %s\n" path
     | _ -> ());
     (match oo.manifest_file with
     | Some path ->
@@ -802,8 +889,7 @@ let analyze_cmd =
                 Some oc )
         in
         let obs =
-          { Runner.obs_trace = trace; obs_metrics = None;
-            obs_sample_interval = 1000.0; obs_faults = Fault_schedule.empty }
+          { Runner.null_obs with Runner.obs_trace = trace }
         in
         let captured = ref None in
         let on_net net = captured := Some net in
@@ -1247,8 +1333,19 @@ let chaos_cmd =
                 Default: every registered contender. Known names: %s."
                (String.concat ", " (Registry.names ()))))
   in
+  let flight_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:
+            "Arm a flight recorder over the campaign: every run records \
+             into a bounded event ring and the first oracle violation dumps \
+             it to $(docv) (watchdog trips do not dump — they are routine \
+             under injected faults). Forces serial evaluation.")
+  in
   let run dims schedules seed ops vars lock_every read_ratio no_verify manifest
-      smoke strategy_names domains =
+      smoke strategy_names domains flight =
     let strategies =
       match strategy_names with
       | [] -> Registry.contenders ()
@@ -1295,7 +1392,23 @@ let chaos_cmd =
       cfg.Workload.Chaos.ops seed
       (if cfg.Workload.Chaos.verify_determinism then " (verified)" else "")
       (if domains > 1 then Printf.sprintf ", %d domains" domains else "");
-    let outcomes = Workload.Chaos.run ~progress:print_endline ~domains cfg in
+    let flight =
+      Option.map
+        (fun path ->
+          let fl =
+            Diva_obs.Flight.create ~dump_on_watchdog:false ~path ()
+          in
+          armed_flight := Some fl;
+          fl)
+        flight
+    in
+    let outcomes =
+      Workload.Chaos.run ~progress:print_endline ~domains ?flight cfg
+    in
+    (match flight with
+    | Some fl when Diva_obs.Flight.dumped fl ->
+        Printf.printf "flight   -> %s\n" (Diva_obs.Flight.path fl)
+    | _ -> ());
     let ok = Workload.Chaos.passed outcomes in
     (match manifest with
     | Some path ->
@@ -1315,7 +1428,8 @@ let chaos_cmd =
        ~doc:"Fault-injection campaign validated by a coherence oracle")
     Term.(
       const run $ mesh $ schedules $ seed_t $ ops $ vars $ lock_every
-      $ read_ratio $ no_verify $ manifest $ smoke $ strategy_names $ domains_t)
+      $ read_ratio $ no_verify $ manifest $ smoke $ strategy_names $ domains_t
+      $ flight_t)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel mesh traffic (the Par_engine showcase)                     *)
@@ -1362,7 +1476,18 @@ let traffic_cmd =
              --domains N domains, failing unless the reports are \
              byte-identical.")
   in
-  let run dims rate horizon size pattern smoke seed domains =
+  let prof_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prof" ] ~docv:"FILE"
+          ~doc:
+            "Write a $(b,diva-prof/1) profile of the run including the \
+             parallel engine's per-domain telemetry (busy/stall split, \
+             window count, shard imbalance). Render with $(b,divasim \
+             profile FILE). Telemetry never changes the simulated results.")
+  in
+  let run dims rate horizon size pattern smoke seed domains prof =
     let rows, cols =
       match dims with
       | [| r; c |] -> (r, c)
@@ -1392,9 +1517,23 @@ let traffic_cmd =
       Printf.printf "traffic smoke: OK — byte-identical across domain counts\n"
     end
     else begin
+      let p = Option.map (fun _ -> Diva_obs.Prof.create ()) prof in
+      let telemetry =
+        Option.map
+          (fun _ -> Diva_simnet.Par_engine.telemetry_create ())
+          prof
+      in
+      (match p with Some p -> Diva_obs.Prof.arm p | None -> ());
       let t0 = Unix.gettimeofday () in
       let r =
-        Traffic.run ~domains ~seed ~size ~rows ~cols ~rate ~horizon ~pattern ()
+        match p with
+        | Some p ->
+            Diva_obs.Prof.region p "simulate" (fun () ->
+                Traffic.run ~domains ?telemetry ~seed ~size ~rows ~cols ~rate
+                  ~horizon ~pattern ())
+        | None ->
+            Traffic.run ~domains ~seed ~size ~rows ~cols ~rate ~horizon
+              ~pattern ()
       in
       let wall = Unix.gettimeofday () -. t0 in
       Printf.printf "traffic %dx%d, %s, rate %g/us/node, horizon %g us, %d \
@@ -1405,7 +1544,13 @@ let traffic_cmd =
         (if domains = 1 then "" else "s");
       Printf.printf "%s\n" (Traffic.render r);
       Printf.printf "wall %.1f ms, %.0f events/sec\n" (wall *. 1e3)
-        (float_of_int r.Traffic.r_events /. wall)
+        (float_of_int r.Traffic.r_events /. wall);
+      match (prof, p, telemetry) with
+      | Some path, Some p, Some tl ->
+          Diva_obs.Prof.set_par p (Diva_simnet.Par_engine.telemetry_json tl);
+          Diva_obs.Json.to_file path (Diva_obs.Prof.to_json p);
+          Printf.printf "prof     -> %s\n" path
+      | _ -> ()
     end
   in
   Cmd.v
@@ -1425,7 +1570,7 @@ let traffic_cmd =
               stays serial (see docs/PERFORMANCE.md)." ])
     Term.(
       const run $ mesh_t $ rate $ horizon $ size $ pattern $ smoke $ seed_t
-      $ domains_t)
+      $ domains_t $ prof_t)
 
 (* ------------------------------------------------------------------ *)
 (* Open-loop service scenario                                          *)
@@ -1724,6 +1869,132 @@ let serve_cmd =
       $ horizon_ms $ arrival $ scenario $ zipf $ read_ratio $ sweep $ sweep_out
       $ threshold $ smoke $ seed_t $ heatmap_t $ obs_opts_t $ domains_t)
 
+(* ------------------------------------------------------------------ *)
+(* profile: render prof.json / flight-recorder dumps                   *)
+(* ------------------------------------------------------------------ *)
+
+let read_json_file path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "%s: no such file" path)
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | raw ->
+        Result.map_error
+          (fun e -> Printf.sprintf "%s: %s" path e)
+          (Diva_obs.Json.of_string raw)
+    | exception Sys_error e -> Error e
+
+let profile_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A $(b,diva-prof/1) profile (from $(b,--prof)) or a \
+             $(b,diva-flight/1) crash dump (from $(b,--flight)).")
+  in
+  let run file =
+    match read_json_file file with
+    | Error e ->
+        Printf.eprintf "divasim: %s\n" e;
+        exit 1
+    | Ok j -> (
+        (* Dispatch on the document's schema tag. *)
+        let rendered =
+          match Option.bind (Diva_obs.Json.member "schema" j)
+                  Diva_obs.Json.to_str
+          with
+          | Some "diva-flight/1" -> Diva_obs.Flight.report j
+          | _ -> Diva_obs.Prof.report j
+        in
+        match rendered with
+        | Ok text -> print_string text
+        | Error e ->
+            Printf.eprintf "divasim: %s: %s\n" file e;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Render a self-profile or flight-recorder dump as a report"
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Reads a JSON artifact produced by $(b,--prof) (schema \
+              $(b,diva-prof/1): subsystem CPU split, host window series, GC \
+              totals, region timers, parallel-engine telemetry) or by the \
+              flight recorder ($(b,--flight), schema $(b,diva-flight/1): \
+              dump reason, recent-event ring, health snapshots) and prints \
+              a human-readable report." ])
+    Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
+(* trace: multi-run trace-file tooling                                 *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let inputs =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"Event-trace JSONL files (produced by $(b,--events)).")
+  in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Merged output file.")
+  in
+  let compact =
+    Arg.(
+      value & flag
+      & info [ "compact" ]
+          ~doc:
+            "Drop each run's pre-quiescence noise: events before its first \
+             DSM access (variable placement, warm-up chatter). Variable \
+             declarations always survive — replay and analysis need them.")
+  in
+  let merge inputs output compact =
+    match
+      Diva_obs.Streaming.merge_files ~compact ~inputs ~output ()
+    with
+    | Error e ->
+        Printf.eprintf "divasim: trace merge: %s\n" e;
+        exit 1
+    | Ok st ->
+        Printf.printf "merged   -> %s (%d runs, %d events%s)\n" output
+          st.Diva_obs.Streaming.ms_runs st.Diva_obs.Streaming.ms_events
+          (if compact then
+             Printf.sprintf ", %d dropped" st.Diva_obs.Streaming.ms_dropped
+           else "")
+  in
+  let merge_cmd =
+    Cmd.v
+      (Cmd.info "merge"
+         ~doc:"Merge event traces from several runs into one ordered stream"
+         ~man:
+           [ `S Manpage.s_description;
+             `P
+               "K-way merges the input traces by event timestamp (run index \
+                breaks ties; within one run the original order is kept \
+                exactly, so the output is deterministic). The output is the \
+                $(b,diva-event-trace-merged) format: a header carrying every \
+                input's original header, then one JSON line per event with a \
+                leading $(b,run) field naming its source (0-based, in \
+                argument order). $(b,--compact) additionally drops each \
+                run's setup noise before its first DSM access." ])
+      Term.(const merge $ inputs $ output $ compact)
+  in
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Event-trace file tooling (merge, compaction)")
+    [ merge_cmd ]
+
 let () =
   (* The simulator allocates short-lived protocol records at a high rate;
      the default 256k-word minor heap forces a minor collection every few
@@ -1733,8 +2004,23 @@ let () =
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1_048_576 };
   let doc = "DIVA: simulated data management in mesh networks (SPAA'99)" in
   let info = Cmd.info "divasim" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ matmul_cmd; bitonic_cmd; nbody_cmd; analyze_cmd; workload_cmd;
-            chaos_cmd; traffic_cmd; serve_cmd ]))
+  let group =
+    Cmd.group info
+      [ matmul_cmd; bitonic_cmd; nbody_cmd; analyze_cmd; workload_cmd;
+        chaos_cmd; traffic_cmd; serve_cmd; profile_cmd; trace_cmd ]
+  in
+  (* [~catch:false] so an escaping exception reaches us: if a flight
+     recorder is armed, the crash leaves a post-mortem dump before the
+     process dies. Exit 125 mirrors cmdliner's internal-error code. *)
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception e ->
+      let msg = Printexc.to_string e in
+      (match !armed_flight with
+      | Some fl ->
+          Diva_obs.Flight.dump fl ~reason:("uncaught exception: " ^ msg);
+          Printf.eprintf "divasim: flight-recorder dump -> %s\n"
+            (Diva_obs.Flight.path fl)
+      | None -> ());
+      Printf.eprintf "divasim: uncaught exception: %s\n" msg;
+      exit 125

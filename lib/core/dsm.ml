@@ -74,11 +74,26 @@ let create network ~strategy ?(read_hit_ops = 10) ?(write_hit_ops = 10) () =
   in
   let dispatch =
     (* Unpack the existential once; the closure is installed on every
-       node, so this match must not sit on the per-message path. *)
+       node, so this match must not sit on the per-message path. The
+       profiler is likewise looked up once — observability is installed
+       before the DSM is created (Runner.install_obs), and attaching a
+       profiler to a network with a live DSM is unsupported — so the
+       unprofiled dispatch path stays exactly as it was. *)
     let (Strategy.Instance ((module S), s)) = t.inst in
-    fun net msg ->
-      if not (S.handle s msg || Sync.handle t.sync msg) then
-        Network.mailbox_deliver net msg
+    match Network.prof network with
+    | None ->
+        fun net msg ->
+          if not (S.handle s msg || Sync.handle t.sync msg) then
+            Network.mailbox_deliver net msg
+    | Some p ->
+        let module Prof = Diva_obs.Prof in
+        fun net msg ->
+          (* Refine the attribution for the strategy handler. *)
+          Prof.set_sub p Prof.Strategy;
+          let handled = S.handle s msg in
+          Prof.set_sub p Prof.Protocol;
+          if not (handled || Sync.handle t.sync msg) then
+            Network.mailbox_deliver net msg
   in
   for node = 0 to Network.num_nodes network - 1 do
     Network.set_handler network node dispatch

@@ -12,6 +12,9 @@ type t = {
   mutable acks_received : int;
   mutable enveloped : int;
   mutable dsm_reissues : int;
+  (* Observe-only notification on each watchdog trip; the flight recorder
+     hooks this to dump on the first trip. *)
+  mutable on_dsm_reissue : (unit -> unit) option;
 }
 
 let create sched =
@@ -30,6 +33,7 @@ let create sched =
     acks_received = 0;
     enveloped = 0;
     dsm_reissues = 0;
+    on_dsm_reissue = None;
   }
 
 let schedule t = t.sched
@@ -108,7 +112,11 @@ let count_lost t = function
 let count_retransmit t = t.retransmits <- t.retransmits + 1
 let count_ack t = t.acks_received <- t.acks_received + 1
 let count_enveloped t = t.enveloped <- t.enveloped + 1
-let count_dsm_reissue t = t.dsm_reissues <- t.dsm_reissues + 1
+let count_dsm_reissue t =
+  t.dsm_reissues <- t.dsm_reissues + 1;
+  match t.on_dsm_reissue with Some f -> f () | None -> ()
+
+let set_on_dsm_reissue t f = t.on_dsm_reissue <- Some f
 
 let lost_random t = t.lost_random
 let lost_link_down t = t.lost_link_down

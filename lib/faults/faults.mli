@@ -64,6 +64,11 @@ val count_ack : t -> unit
 val count_enveloped : t -> unit
 val count_dsm_reissue : t -> unit
 
+val set_on_dsm_reissue : t -> (unit -> unit) -> unit
+(** Observe-only callback invoked on every {!count_dsm_reissue} — i.e. on
+    each DSM watchdog trip. The flight recorder uses it to dump on the
+    first trip; the callback must not touch simulation state. *)
+
 val lost_random : t -> int
 val lost_link_down : t -> int
 val lost_crashed : t -> int

@@ -31,20 +31,44 @@ type obs = {
   obs_metrics : Diva_obs.Metrics.t option;
   obs_sample_interval : float;
   obs_faults : Diva_faults.Schedule.t;
+  obs_prof : Diva_obs.Prof.t option;
+  obs_flight : Diva_obs.Flight.t option;
 }
 
 let null_obs =
   { obs_trace = Diva_obs.Trace.null; obs_metrics = None;
-    obs_sample_interval = 1000.0; obs_faults = Diva_faults.Schedule.empty }
+    obs_sample_interval = 1000.0; obs_faults = Diva_faults.Schedule.empty;
+    obs_prof = None; obs_flight = None }
 
 let install_obs net obs =
   (* Faults first: the gauges attach_metrics registers depend on whether
      an injector is installed. Empty schedules install nothing. *)
   Network.set_faults net (Diva_faults.Faults.create obs.obs_faults);
   Network.set_trace net obs.obs_trace;
-  match obs.obs_metrics with
-  | Some m -> Network.attach_metrics net ~interval:obs.obs_sample_interval m
+  (match obs.obs_metrics with
+  | Some m ->
+      Network.attach_metrics net ~interval:obs.obs_sample_interval m;
+      (* Host-side gauges ride the same registry when profiling. *)
+      (match obs.obs_prof with
+      | Some p -> Diva_obs.Prof.register_gauges p m
+      | None -> ())
+  | None -> ());
+  (match obs.obs_prof with
+  | Some p -> Network.attach_prof net p
+  | None -> ());
+  match obs.obs_flight with
   | None -> ()
+  | Some fl ->
+      (* The event ring was wired when the sink was built (Flight.wrap);
+         here we attach the health snapshots and, per recorder policy,
+         dump on the first DSM watchdog trip. *)
+      Network.attach_flight net fl;
+      if Diva_obs.Flight.dump_on_watchdog fl then (
+        match Network.faults net with
+        | Some f ->
+            Diva_faults.Faults.set_on_dsm_reissue f (fun () ->
+                Diva_obs.Flight.dump fl ~reason:"dsm watchdog trip")
+        | None -> ())
 
 let fault_fields net =
   match Network.faults net with
@@ -88,7 +112,9 @@ let collect net dsm =
   }
 
 let finish ?on_net ~obs net =
-  Network.run net;
+  (match obs.obs_prof with
+  | Some p -> Diva_obs.Prof.region p "simulate" (fun () -> Network.run net)
+  | None -> Network.run net);
   (* One final row so the series always covers the full run. *)
   (match obs.obs_metrics with
   | Some m -> Diva_obs.Metrics.sample m ~ts:(Network.now net)

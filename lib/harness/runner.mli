@@ -34,6 +34,15 @@ type obs = {
   obs_faults : Diva_faults.Schedule.t;
       (** fault schedule installed before the run; {!Diva_faults.Schedule.empty}
           (the default) injects nothing and leaves the run bit-identical *)
+  obs_prof : Diva_obs.Prof.t option;
+      (** self-profiler: armed and attached by {!install_obs}, its
+          "simulate" region timed around the run by {!finish} *)
+  obs_flight : Diva_obs.Flight.t option;
+      (** flight recorder: health snapshots attached by {!install_obs},
+          which also arms dump-on-watchdog-trip when the recorder's policy
+          asks for it. The event ring must already wrap [obs_trace]
+          ({!Diva_obs.Flight.wrap}) — installing the sink is the one thing
+          {!install_obs} cannot retrofit. *)
 }
 
 val null_obs : obs

@@ -131,8 +131,27 @@ let counter_events ~name ~key ~pid deltas =
   in
   go [] 0 sorted
 
-let to_json ?(metadata = []) ~num_nodes events =
+(* Host-profiler counter tracks from a prof.json document: one "C" event
+   per sample row on a dedicated "profiler" process. Values are host-side
+   measurements (throughput, heap) plotted against simulated time, which
+   is exactly what makes a slow window visually pop in Perfetto. *)
+let prof_counters ~pid prof =
+  List.concat_map
+    (fun (sim_us, rate, heap_words) ->
+      [
+        ( sim_us,
+          ev ~name:"host events/sec" ~cat:"prof" ~ph:"C" ~ts:sim_us ~pid
+            ~tid:0
+            [ ("args", Obj [ ("events_per_sec", Float rate) ]) ] );
+        ( sim_us,
+          ev ~name:"host heap MB" ~cat:"prof" ~ph:"C" ~ts:sim_us ~pid ~tid:0
+            [ ("args", Obj [ ("mb", Float (heap_words *. 8e-6)) ]) ] );
+      ])
+    (Prof.series_rows prof)
+
+let to_json ?(metadata = []) ?prof ~num_nodes events =
   let net_pid = num_nodes in
+  let prof_pid = num_nodes + 1 in
   let sorted =
     List.stable_sort
       (fun a b -> Float.compare (Trace.timestamp a) (Trace.timestamp b))
@@ -239,12 +258,17 @@ let to_json ?(metadata = []) ~num_nodes events =
             flow "s" ~ts:t0 ~pid:node ~tid:tid_dsm () :: steps (List.sort compare xs))
       txn_ids
   in
+  let profs =
+    match prof with None -> [] | Some p -> prof_counters ~pid:prof_pid p
+  in
   let link_ids =
     List.sort compare (Hashtbl.fold (fun link () acc -> link :: acc) links [])
   in
   let metas =
     (if link_ids = [] && counters = [] then []
      else meta ~name:"process_name" ~pid:net_pid ~tid:0 "network" :: [])
+    @ (if profs = [] then []
+       else [ meta ~name:"process_name" ~pid:prof_pid ~tid:0 "profiler" ])
     @ List.map
         (fun link ->
           meta ~name:"thread_name" ~pid:net_pid ~tid:link
@@ -267,7 +291,7 @@ let to_json ?(metadata = []) ~num_nodes events =
      (stable, so same-timestamp events keep a deterministic order). *)
   let stamped =
     List.map (fun e -> (Trace.timestamp e, of_event ~net_pid e)) sorted
-    @ counters @ flows
+    @ counters @ flows @ profs
   in
   let trace_events =
     metas
@@ -281,8 +305,8 @@ let to_json ?(metadata = []) ~num_nodes events =
      ]
     @ if metadata = [] then [] else [ ("metadata", Obj metadata) ])
 
-let to_string ?metadata ~num_nodes events =
-  Json.to_string (to_json ?metadata ~num_nodes events)
+let to_string ?metadata ?prof ~num_nodes events =
+  Json.to_string (to_json ?metadata ?prof ~num_nodes events)
 
-let write_file ?metadata ~num_nodes ~path events =
-  Json.to_file path (to_json ?metadata ~num_nodes events)
+let write_file ?metadata ?prof ~num_nodes ~path events =
+  Json.to_file path (to_json ?metadata ?prof ~num_nodes events)

@@ -21,20 +21,26 @@
 
 val to_json :
   ?metadata:(string * Json.t) list ->
+  ?prof:Json.t ->
   num_nodes:int ->
   Trace.event list ->
   Json.t
 (** [metadata] entries (e.g. the run manifest) are attached under the
-    top-level ["metadata"] key. *)
+    top-level ["metadata"] key. [prof] is a {!Prof.to_json} document; when
+    given, its sample series becomes two counter tracks on an extra
+    "profiler" process (pid = number of nodes + 1): host events/sec and
+    host heap MB, plotted against simulated time. *)
 
 val to_string :
   ?metadata:(string * Json.t) list ->
+  ?prof:Json.t ->
   num_nodes:int ->
   Trace.event list ->
   string
 
 val write_file :
   ?metadata:(string * Json.t) list ->
+  ?prof:Json.t ->
   num_nodes:int ->
   path:string ->
   Trace.event list ->

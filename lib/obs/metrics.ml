@@ -83,22 +83,65 @@ let sanitize name =
     name;
   Buffer.contents b
 
-let to_prometheus ?(prefix = "diva_") t =
+(* Label values escape per the exposition format: backslash, double quote
+   and newline. Label names share the metric charset minus ':'. *)
+let escape_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize k)
+                 (escape_label_value v))
+             labels)
+      ^ "}"
+
+let to_prometheus ?(prefix = "diva_") ?(labels = []) t =
   match t.rev_rows with
   | [] -> ""
   | (ts, row) :: _ ->
       let b = Buffer.create 1024 in
+      (* Sanitizing folds '-' (and every other unsupported character) to
+         '_', so distinct series names can collide after the fold — e.g.
+         "host-heap-words" vs "host_heap_words" — and a duplicate metric
+         name makes the whole exposition invalid. Deduplicate
+         deterministically with a numeric suffix. *)
+      let seen = Hashtbl.create 16 in
+      let unique metric =
+        match Hashtbl.find_opt seen metric with
+        | None ->
+            Hashtbl.add seen metric 1;
+            metric
+        | Some n ->
+            Hashtbl.replace seen metric (n + 1);
+            Printf.sprintf "%s_%d" metric (n + 1)
+      in
+      let lbl = render_labels labels in
+      let line name kind value =
+        let metric = unique (sanitize (prefix ^ name)) in
+        Printf.bprintf b "# TYPE %s %s\n%s%s %s\n" metric kind metric lbl
+          (cell value)
+      in
       List.iteri
         (fun i (name, s) ->
-          let metric = sanitize (prefix ^ name) in
-          let kind =
-            match s with Counter _ -> "counter" | Gauge _ -> "gauge"
-          in
-          Printf.bprintf b "# TYPE %s %s\n%s %s\n" metric kind metric
-            (cell row.(i)))
+          line name
+            (match s with Counter _ -> "counter" | Gauge _ -> "gauge")
+            row.(i))
         (cols t);
-      let metric = sanitize (prefix ^ "sample_ts_us") in
-      Printf.bprintf b "# TYPE %s gauge\n%s %s\n" metric metric (cell ts);
+      line "sample_ts_us" "gauge" ts;
       Buffer.contents b
 
 let to_json t =

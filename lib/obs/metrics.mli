@@ -41,10 +41,17 @@ val to_csv : t -> string
 val to_json : t -> Json.t
 (** [{ "columns": [...], "rows": [[ts, v, ...], ...] }]. *)
 
-val to_prometheus : ?prefix:string -> t -> string
+val to_prometheus :
+  ?prefix:string -> ?labels:(string * string) list -> t -> string
 (** Prometheus text exposition of the {e final} sample: one
     [# TYPE]-annotated line pair per series (counters as [counter], gauges
     as [gauge]), names prefixed with [prefix] (default ["diva_"]) and
     sanitized to the Prometheus charset, plus a [<prefix>sample_ts_us]
     gauge carrying the sample's simulated timestamp. Empty string when
-    nothing was sampled. *)
+    nothing was sampled.
+
+    Series names containing ['-'] fold to ['_']; when two series collide
+    after the fold, later ones get a deterministic numeric suffix so the
+    exposition never carries a duplicate metric name. [labels] are
+    rendered on every sample line ([name{k="v"} value]) with label values
+    escaped per the exposition format (backslash, double quote, newline). *)

@@ -677,3 +677,224 @@ let analyze_file ?top_k ?num_windows ?ring path =
   let t = create ?top_k ?num_windows ?ring header.h_overheads in
   let* _ = iter_file path ~f:(feed t) in
   Ok (header, finalize t, t.peak)
+
+
+(* ------------------------------------------------------------------ *)
+(* Multi-run merge / compaction                                         *)
+(* ------------------------------------------------------------------ *)
+
+let merged_format_name = "diva-event-trace-merged"
+let merged_version = 1
+
+type merge_stats = { ms_runs : int; ms_events : int; ms_dropped : int }
+
+(* One scan of a run: its event count plus its quiescence point — the
+   issue time of the first DSM access. Everything before quiescence is
+   setup chatter (initial copy placement, warm-up sends) that multi-run
+   analysis wants gone; [Var_decl] events survive compaction regardless
+   because replay and analysis need the declarations. A run with no DSM
+   accesses compacts to itself (cut at 0). *)
+let scan_run path =
+  let n = ref 0 and q = ref Float.infinity in
+  let* _ =
+    iter_file path ~f:(fun e ->
+        incr n;
+        match e with
+        | Trace.Dsm_access { ts; _ } when ts < !q -> q := ts
+        | _ -> ())
+  in
+  Ok (!n, if !q = Float.infinity then 0.0 else !q)
+
+let keep_event ~quiescence e =
+  match e with
+  | Trace.Var_decl _ -> true
+  | e -> Trace.timestamp e >= quiescence
+
+(* One open input being merged: header already consumed, [mu_cur] holds
+   the next surviving event. Only each cursor's head competes, so within
+   a file the original emission order is preserved exactly; across files
+   the merge is a stable k-way interleave on head timestamps with the
+   run index as tie-break — the output is deterministic. *)
+type cursor = {
+  mu_run : int;
+  mu_path : string;
+  mu_ic : in_channel;
+  mutable mu_lineno : int;
+  mutable mu_cur : Trace.event option;
+  mu_quiescence : float;
+}
+
+let cursor_advance c =
+  let rec go () =
+    match input_line c.mu_ic with
+    | exception End_of_file ->
+        c.mu_cur <- None;
+        Ok ()
+    | line ->
+        c.mu_lineno <- c.mu_lineno + 1;
+        if String.trim line = "" then go ()
+        else
+          let* e =
+            Result.map_error
+              (fun e -> Printf.sprintf "%s: %s" c.mu_path e)
+              (event_of_line ~lineno:c.mu_lineno line)
+          in
+          if keep_event ~quiescence:c.mu_quiescence e then begin
+            c.mu_cur <- Some e;
+            Ok ()
+          end
+          else go ()
+  in
+  go ()
+
+(* Open one input positioned just past its header line. *)
+let open_cursor ~run ~quiescence path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let rec skip lineno =
+        match input_line ic with
+        | exception End_of_file -> lineno
+        | line when String.trim line = "" -> skip (lineno + 1)
+        | _ -> lineno + 1
+      in
+      let lineno = skip 0 in
+      Ok
+        {
+          mu_run = run;
+          mu_path = path;
+          mu_ic = ic;
+          mu_lineno = lineno;
+          mu_cur = None;
+          mu_quiescence = quiescence;
+        }
+
+let write_json_line oc j =
+  let b = Buffer.create 256 in
+  Json.to_buffer b j;
+  Buffer.add_char b '\n';
+  Buffer.output_buffer oc b
+
+let merge_files ?(compact = false) ~inputs ~output () =
+  if inputs = [] then Error "trace merge: no input files"
+  else
+    (* Pass 1: validate every header; when compacting, also scan each run
+       for its size and quiescence cut. *)
+    let* runs =
+      List.fold_left
+        (fun acc path ->
+          let* acc = acc in
+          let* h =
+            with_lines path (fun ic ->
+                match input_line ic with
+                | exception End_of_file -> Error "empty trace file"
+                | line -> parse_header line)
+          in
+          let* total, quiescence =
+            if compact then scan_run path else Ok (0, 0.0)
+          in
+          Ok ((path, h, total, quiescence) :: acc))
+        (Ok []) inputs
+    in
+    let runs = List.rev runs in
+    match
+      let oc = open_out output in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          let open Json in
+          (* Merged header: the format marker plus every input's own
+             header and its quiescence cut, so downstream tools can tell
+             what a compacted merge dropped. *)
+          write_json_line oc
+            (Obj
+               [
+                 ("format", String merged_format_name);
+                 ("version", Int merged_version);
+                 ("compact", Bool compact);
+                 ( "runs",
+                   List
+                     (List.map
+                        (fun (path, h, _, q) ->
+                          Obj
+                            [
+                              ("path", String (Filename.basename path));
+                              ("header", header_json h);
+                              ("quiescence_us", Float q);
+                            ])
+                        runs) );
+               ]);
+          let* cursors =
+            List.fold_left
+              (fun acc (run, (path, _, _, quiescence)) ->
+                let* acc = acc in
+                let* c = open_cursor ~run ~quiescence path in
+                Ok (c :: acc))
+              (Ok [])
+              (List.mapi (fun i r -> (i, r)) runs)
+            |> Result.map List.rev
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              List.iter
+                (fun c -> try close_in c.mu_ic with Sys_error _ -> ())
+                cursors)
+            (fun () ->
+              let* () =
+                List.fold_left
+                  (fun acc c ->
+                    let* () = acc in
+                    cursor_advance c)
+                  (Ok ()) cursors
+              in
+              let written = ref 0 in
+              (* Earliest head timestamp wins; ties keep the lower run
+                 index (the fold visits cursors in run order and only a
+                 strictly smaller timestamp displaces the champion). *)
+              let rec pump () =
+                let best =
+                  List.fold_left
+                    (fun best c ->
+                      match (c.mu_cur, best) with
+                      | None, _ -> best
+                      | Some _, None -> Some c
+                      | Some e, Some b -> (
+                          match b.mu_cur with
+                          | Some be
+                            when Trace.timestamp e < Trace.timestamp be ->
+                              Some c
+                          | _ -> best))
+                    None cursors
+                in
+                match best with
+                | None -> Ok ()
+                | Some c -> (
+                    match c.mu_cur with
+                    | None -> Ok ()
+                    | Some e ->
+                        let fields =
+                          match Trace.event_to_json e with
+                          | Obj kvs -> kvs
+                          | j -> [ ("event", j) ]
+                        in
+                        write_json_line oc
+                          (Obj (("run", Int c.mu_run) :: fields));
+                        incr written;
+                        let* () = cursor_advance c in
+                        pump ())
+              in
+              let* () = pump () in
+              let total_in =
+                if compact then
+                  List.fold_left (fun acc (_, _, n, _) -> acc + n) 0 runs
+                else !written
+              in
+              Ok
+                {
+                  ms_runs = List.length runs;
+                  ms_events = !written;
+                  ms_dropped = max 0 (total_in - !written);
+                }))
+    with
+    | r -> r
+    | exception Sys_error e -> Error e

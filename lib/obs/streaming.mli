@@ -136,3 +136,37 @@ val analyze_file :
     crossings retained along the way. Returns the header, a summary
     bit-identical to analyzing the live run, and the peak message-record
     residency. *)
+
+(** {2 Multi-run merge / compaction}
+
+    [divasim trace merge] combines several single-run trace files into
+    one time-ordered stream for fleet-level analysis. The merged file is
+    its own format (["diva-event-trace-merged"], version 1): the first
+    line is a header carrying every input's original header, and every
+    event line gains a leading ["run"] field naming the input it came
+    from (0-based, in argument order). *)
+
+val merged_format_name : string
+val merged_version : int
+
+type merge_stats = {
+  ms_runs : int;  (** number of input files merged *)
+  ms_events : int;  (** event lines written to the output *)
+  ms_dropped : int;  (** events removed by compaction (0 when off) *)
+}
+
+val merge_files :
+  ?compact:bool ->
+  inputs:string list ->
+  output:string ->
+  unit ->
+  (merge_stats, string) result
+(** K-way merge of the input traces into [output], ordered by event
+    timestamp with the run index as tie-break; within one run the
+    original emission order is preserved exactly, so the output is
+    deterministic. With [compact] (default off), each run is first
+    scanned for its quiescence point — the issue time of its first DSM
+    access — and events before it are dropped as setup noise, except
+    {!Trace.Var_decl} declarations, which always survive. Inputs are
+    validated (existing file, parseable header) before the output is
+    opened. *)

@@ -142,6 +142,20 @@ let emit s e =
 let count s = s.n
 let events s = List.rev s.rev_events
 
+(* A sink equal to [s] except that [f] also sees every event. Forcing [on]
+   makes wrapping [null] yield a listener-only sink: emission turns on, but
+   emission only constructs values — it never feeds back into the
+   simulation (the flight recorder's armed-vs-disarmed identity test pins
+   this down). The result is a fresh record; callers replace [s] with it
+   wholesale, so the original's buffer is never read. *)
+let with_listener s f =
+  let on_event =
+    match s.on_event with
+    | Some g when s.on -> Some (fun e -> f e; g e)
+    | _ -> Some f
+  in
+  { on = true; buffer = s.on && s.buffer; rev_events = []; n = 0; on_event }
+
 (* ------------------------------------------------------------------ *)
 (* JSONL event codec (writer half; the reader lives in Streaming)      *)
 (* ------------------------------------------------------------------ *)

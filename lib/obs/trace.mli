@@ -207,6 +207,14 @@ val count : sink -> int
 val events : sink -> event list
 (** Buffered events in emission order; [[]] for {!stream} sinks. *)
 
+val with_listener : sink -> (event -> unit) -> sink
+(** [with_listener s f] is a sink that behaves like [s] (same buffering,
+    same downstream callback) except that [f] also observes every event,
+    and that it is always enabled — wrapping {!null} yields a
+    listener-only sink. The result {e replaces} [s]: it has its own
+    buffer, so keep only the wrapped value. Used by the flight recorder
+    to ride along any existing sink configuration. *)
+
 (** {2 JSONL event codec}
 
     One compact JSON object per event, discriminated by the ["e"] tag,

@@ -3,6 +3,8 @@ module Mesh = Diva_mesh.Mesh
 module Trace = Diva_obs.Trace
 module Metrics = Diva_obs.Metrics
 module Faults = Diva_faults.Faults
+module Prof = Diva_obs.Prof
+module Flight = Diva_obs.Flight
 
 type payload = ..
 type payload += Empty
@@ -89,6 +91,7 @@ type t = {
   mutable startup_count : int;
   mutable fibers : int;
   mutable trace : Trace.sink;
+  mutable prof : Prof.t option;
   mutable rel : reliable option;  (* Some iff an active fault schedule is installed *)
   (* Causal context. [cur_msg]/[cur_txn] identify the message (and the DSM
      transaction it serves) whose handler is currently executing; sends
@@ -160,6 +163,7 @@ let create_nd ?(machine = Machine.gcel) ?(seed = 42) ~dims () =
     startup_count = 0;
     fibers = 0;
     trace = Trace.null;
+    prof = None;
     rel = None;
     next_msg_id = 0;
     next_txn_id = 0;
@@ -257,9 +261,56 @@ let attach_metrics t ?(interval = 1000.0) m =
       Metrics.gauge m "faults_pending"
         (fun () -> float_of_int (Hashtbl.length rel.rl_pending)));
   let next = ref interval in
-  Sim.set_advance_hook t.sim (fun _old_clock new_clock ->
+  Sim.add_advance_hook t.sim (fun _old_clock new_clock ->
       while !next <= new_clock do
         Metrics.sample m ~ts:!next;
+        next := !next +. interval
+      done)
+
+(* Host-side self-profiling: route the event loop through its profiled
+   twin and drive the window series from the same observe-only advance
+   hook the metrics sampler uses. Attribution refinements below (protocol
+   layer, strategy handlers) key off [t.prof]. *)
+let attach_prof t p =
+  t.prof <- Some p;
+  Sim.set_prof t.sim p;
+  Prof.arm p;
+  let w = Prof.window_us p in
+  let next = ref w in
+  Sim.add_advance_hook t.sim (fun _old_clock new_clock ->
+      while !next <= new_clock do
+        Prof.sample p ~sim_us:!next ~events:(Sim.events_executed t.sim);
+        next := !next +. w
+      done)
+
+let prof t = t.prof
+
+(* Flight-recorder health snapshots on the simulated clock. Event-ring
+   recording is wired where the sink is built (the recorder must wrap the
+   sink before anyone keeps a reference); this attaches only the periodic
+   snapshot hook. *)
+let attach_flight t ?(interval = 5000.0) fl =
+  if not (Float.is_finite interval) || interval <= 0.0 then
+    invalid_arg "Network.attach_flight: interval must be positive";
+  let next = ref interval in
+  Sim.add_advance_hook t.sim (fun _old_clock new_clock ->
+      while !next <= new_clock do
+        Flight.snapshot fl
+          {
+            Flight.sn_wall = Unix.gettimeofday ();
+            sn_sim_us = !next;
+            sn_events = Sim.events_executed t.sim;
+            sn_pending = Sim.pending t.sim;
+            sn_fibers = t.fibers;
+            sn_inflight =
+              (match t.rel with
+              | Some rel -> Hashtbl.length rel.rl_pending
+              | None -> 0);
+            sn_reissues =
+              (match t.rel with
+              | Some rel -> Faults.dsm_reissues rel.rl_faults
+              | None -> 0);
+          };
         next := !next +. interval
       done)
 
@@ -301,6 +352,9 @@ and run_dispatch dc =
   let t = dc.dx_net in
   t.cur_msg <- dc.dx_id;
   t.cur_txn <- dc.dx_txn;
+  (match t.prof with
+  | Some p -> Prof.set_sub p Prof.Protocol
+  | None -> ());
   dispatch t dc.dx_msg;
   t.cur_msg <- -1;
   t.cur_txn <- -1

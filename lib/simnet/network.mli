@@ -174,6 +174,24 @@ val attach_metrics : t -> ?interval:float -> Diva_obs.Metrics.t -> unit
     exact boundaries [interval], [2*interval], ...; values reflect the
     state after the last event before each boundary. *)
 
+val attach_prof : t -> Diva_obs.Prof.t -> unit
+(** Install a self-profiler: route {!run} through the event loop's
+    profiled twin, arm the statistical subsystem sampler, and drive the
+    profiler's window series from the (observe-only) advance hook — one
+    row per [Prof.window_us] of simulated time. A profiled run is
+    byte-identical to an unprofiled one. Attach before creating protocol
+    layers (the DSM captures the profiler once, at dispatch-closure
+    creation); [Runner.install_obs] runs first and satisfies this. *)
+
+val prof : t -> Diva_obs.Prof.t option
+
+val attach_flight : t -> ?interval:float -> Diva_obs.Flight.t -> unit
+(** Take a flight-recorder health snapshot (sim time, events executed and
+    pending, live fibers, in-flight envelopes, watchdog trips) every
+    [interval] simulated microseconds (default 5000). The event ring is
+    fed by wrapping the trace sink ({!Diva_obs.Flight.wrap}) before it is
+    installed; this only attaches the periodic snapshots. *)
+
 (** {2 Fault injection}
 
     With a fault schedule installed (see {!Diva_faults}), remote sends are

@@ -136,6 +136,81 @@ let cross b f =
     done;
   Mutex.unlock b.b_mutex
 
+(* ------------------------------------------------------------------ *)
+
+(* Per-domain wall-clock accounting, filled by [run ?telemetry]. All
+   writes are either domain-local (each domain owns its [dom_stat]) or
+   made while holding the barrier lock (window count), so recording needs
+   no extra synchronization — and nothing in the model reads any of it,
+   so a telemetered run stays byte-identical. *)
+type dom_stat = {
+  mutable d_busy_s : float;  (* executing events + draining outboxes *)
+  mutable d_barrier_s : float;  (* waiting at the two window barriers *)
+  mutable d_events : int;
+}
+
+type telemetry = {
+  mutable tl_domains : int;
+  mutable tl_windows : int;
+  mutable tl_wall_s : float;
+  mutable tl_doms : dom_stat array;
+  mutable tl_shard_events : int array;
+}
+
+let telemetry_create () =
+  {
+    tl_domains = 0;
+    tl_windows = 0;
+    tl_wall_s = 0.0;
+    tl_doms = [||];
+    tl_shard_events = [||];
+  }
+
+let tl_stall_frac tl =
+  let busy = Array.fold_left (fun a d -> a +. d.d_busy_s) 0.0 tl.tl_doms in
+  let wait = Array.fold_left (fun a d -> a +. d.d_barrier_s) 0.0 tl.tl_doms in
+  if busy +. wait > 0.0 then wait /. (busy +. wait) else 0.0
+
+(* Max shard load over mean shard load: 1.0 is a perfectly balanced
+   decomposition; the window occupancy of the busiest shard bounds every
+   domain layout's speedup. *)
+let tl_shard_imbalance tl =
+  let n = Array.length tl.tl_shard_events in
+  if n = 0 then 1.0
+  else
+    let total = Array.fold_left ( + ) 0 tl.tl_shard_events in
+    if total = 0 then 1.0
+    else
+      let mx = Array.fold_left max 0 tl.tl_shard_events in
+      float_of_int mx /. (float_of_int total /. float_of_int n)
+
+let telemetry_json tl =
+  let open Diva_obs.Json in
+  Obj
+    [
+      ("domains", Int tl.tl_domains);
+      ("windows", Int tl.tl_windows);
+      ("wall_s", Float tl.tl_wall_s);
+      ("stall_frac", Float (tl_stall_frac tl));
+      ("shard_imbalance", Float (tl_shard_imbalance tl));
+      ( "domains_detail",
+        List
+          (Array.to_list
+             (Array.map
+                (fun d ->
+                  Obj
+                    [
+                      ("busy_s", Float d.d_busy_s);
+                      ("barrier_s", Float d.d_barrier_s);
+                      ("events", Int d.d_events);
+                    ])
+                tl.tl_doms)) );
+      ( "shard_events",
+        List
+          (Array.to_list
+             (Array.map (fun e -> Int e) tl.tl_shard_events)) );
+    ]
+
 let min_pending t =
   Array.fold_left
     (fun acc s ->
@@ -144,9 +219,23 @@ let min_pending t =
       | None -> acc)
     Float.infinity t.shards
 
-let run ?(domains = 1) t ~handler =
+let run ?(domains = 1) ?telemetry t ~handler =
   let s = Array.length t.shards in
   let domains = max 1 (min domains s) in
+  let run0 = match telemetry with Some _ -> Unix.gettimeofday () | None -> 0.0 in
+  let doms =
+    match telemetry with
+    | None -> [||]
+    | Some tl ->
+        let d =
+          Array.init domains (fun _ ->
+              { d_busy_s = 0.0; d_barrier_s = 0.0; d_events = 0 })
+        in
+        tl.tl_domains <- domains;
+        tl.tl_windows <- 0;
+        tl.tl_doms <- d;
+        d
+  in
   (* Contiguous shard blocks per domain, first blocks one larger. *)
   let base = s / domains and extra = s mod domains in
   let lo d = (d * base) + min d extra in
@@ -176,42 +265,74 @@ let run ?(domains = 1) t ~handler =
         done)
       t.shards
   in
+  let exec_window d w_end =
+    try
+      for i = lo d to hi d - 1 do
+        let shard = t.shards.(i) in
+        let ctx = { c_eng = t; c_shard = shard } in
+        let continue = ref true in
+        while !continue do
+          if Heap.is_empty shard.s_queue then continue := false
+          else
+            let at = Heap.min_priority_exn shard.s_queue in
+            if at >= w_end then continue := false
+            else begin
+              let msg = Heap.pop_exn shard.s_queue in
+              shard.s_clock <- at;
+              shard.s_executed <- shard.s_executed + 1;
+              handler ctx msg
+            end
+        done
+      done
+    with e -> record e
+  in
+  (* All drains are complete; the last domain picks the next window (and,
+     under telemetry, counts it — it holds the barrier lock here). *)
+  let pick_next () =
+    (match telemetry with
+    | Some tl -> tl.tl_windows <- tl.tl_windows + 1
+    | None -> ());
+    if !error <> None then finished := true
+    else
+      let m = min_pending t in
+      if m = Float.infinity then finished := true
+      else window_end := Float.max (m +. t.lookahead) !window_end
+  in
   let worker d () =
     while not !finished do
       let w_end = !window_end in
-      (try
-         for i = lo d to hi d - 1 do
-           let shard = t.shards.(i) in
-           let ctx = { c_eng = t; c_shard = shard } in
-           let continue = ref true in
-           while !continue do
-             if Heap.is_empty shard.s_queue then continue := false
-             else
-               let at = Heap.min_priority_exn shard.s_queue in
-               if at >= w_end then continue := false
-               else begin
-                 let msg = Heap.pop_exn shard.s_queue in
-                 shard.s_clock <- at;
-                 shard.s_executed <- shard.s_executed + 1;
-                 handler ctx msg
-               end
-           done
-         done
-       with e -> record e);
+      exec_window d w_end;
       (* All outboxes for this window are complete. *)
       cross barrier (fun () -> ());
       for i = lo d to hi d - 1 do
         drain t.shards.(i)
       done;
-      (* All drains are complete; the last domain picks the next window. *)
-      cross barrier (fun () ->
-          if !error <> None then finished := true
-          else
-            let m = min_pending t in
-            if m = Float.infinity then finished := true
-            else window_end := Float.max (m +. t.lookahead) !window_end)
+      cross barrier pick_next
     done
   in
+  (* Telemetered twin: identical structure plus five clock reads per
+     window. Busy time is event execution + outbox drains; barrier time
+     is the two crossings. The plain worker stays clock-free. *)
+  let worker_timed d () =
+    let st = doms.(d) in
+    while not !finished do
+      let w_end = !window_end in
+      let t0 = Unix.gettimeofday () in
+      exec_window d w_end;
+      let t1 = Unix.gettimeofday () in
+      cross barrier (fun () -> ());
+      let t2 = Unix.gettimeofday () in
+      for i = lo d to hi d - 1 do
+        drain t.shards.(i)
+      done;
+      let t3 = Unix.gettimeofday () in
+      cross barrier pick_next;
+      let t4 = Unix.gettimeofday () in
+      st.d_busy_s <- st.d_busy_s +. (t1 -. t0) +. (t3 -. t2);
+      st.d_barrier_s <- st.d_barrier_s +. (t2 -. t1) +. (t4 -. t3)
+    done
+  in
+  let worker = match telemetry with Some _ -> worker_timed | None -> worker in
   if domains = 1 then worker 0 ()
   else begin
     let spawned =
@@ -220,4 +341,17 @@ let run ?(domains = 1) t ~handler =
     worker 0 ();
     List.iter Domain.join spawned
   end;
+  (match telemetry with
+  | Some tl ->
+      tl.tl_wall_s <- Unix.gettimeofday () -. run0;
+      tl.tl_shard_events <- Array.map (fun sh -> sh.s_executed) t.shards;
+      Array.iteri
+        (fun d st ->
+          let ev = ref 0 in
+          for i = lo d to hi d - 1 do
+            ev := !ev + t.shards.(i).s_executed
+          done;
+          st.d_events <- !ev)
+        doms
+  | None -> ());
   match !error with Some e -> raise e | None -> ()

@@ -39,9 +39,32 @@ val lookahead : _ t -> float
 val schedule_init : 'a t -> shard:int -> at:float -> 'a -> unit
 (** Seed an event before {!run}. [at >= 0]. *)
 
-val run : ?domains:int -> 'a t -> handler:('a ctx -> 'a -> unit) -> unit
+type telemetry
+(** Per-domain wall-clock accounting of one {!run}: busy time (event
+    execution + outbox drains), barrier-wait time, events per domain,
+    window count, and per-shard event totals. Recording reads the wall
+    clock only — nothing in the model observes it — so a telemetered run
+    is byte-identical to a bare one for every domain count. *)
+
+val telemetry_create : unit -> telemetry
+(** A fresh accumulator; pass it to {!run}, then read it back with
+    {!telemetry_json}. Reusing one across runs overwrites it. *)
+
+val telemetry_json : telemetry -> Diva_obs.Json.t
+(** [{ "domains", "windows", "wall_s", "stall_frac", "shard_imbalance",
+    "domains_detail": [{ "busy_s", "barrier_s", "events" }, ...],
+    "shard_events" }]. [stall_frac] is total barrier wait over total
+    accounted time; [shard_imbalance] is the busiest shard's event count
+    over the mean (1.0 = perfectly balanced decomposition). Embed it in a
+    profile via [Diva_obs.Prof.set_par]. *)
+
+val run :
+  ?domains:int -> ?telemetry:telemetry -> 'a t ->
+  handler:('a ctx -> 'a -> unit) -> unit
 (** Execute until every queue and outbox is empty. [domains] defaults to
-    1 and is clamped to [1 .. num_shards]. *)
+    1 and is clamped to [1 .. num_shards]. With [telemetry], each domain
+    additionally reads the wall clock five times per window to fill the
+    accumulator; without it the worker loop is clock-free. *)
 
 val events_executed : _ t -> int
 (** Total events executed across all shards (stable across domain

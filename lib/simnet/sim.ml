@@ -1,4 +1,5 @@
 module Heap = Diva_util.Event_queue
+module Prof = Diva_obs.Prof
 
 (* An event is either a plain thunk or a packed (function, argument) pair.
    The packed form lets hot schedule sites (message delivery in [Network])
@@ -12,12 +13,34 @@ type t = {
   mutable clock : float;
   mutable executed : int;
   mutable advance_hook : (float -> float -> unit) option;
+  mutable prof : Prof.t option;
 }
 
 let create () =
-  { queue = Heap.create (); clock = 0.0; executed = 0; advance_hook = None }
+  {
+    queue = Heap.create ();
+    clock = 0.0;
+    executed = 0;
+    advance_hook = None;
+    prof = None;
+  }
 
 let set_advance_hook t f = t.advance_hook <- Some f
+
+(* Hooks only observe, so composition order is irrelevant; new hooks are
+   prepended. Lets the metrics sampler, the profiler's window series and
+   the flight recorder's health snapshots coexist on the one slot. *)
+let add_advance_hook t f =
+  match t.advance_hook with
+  | None -> t.advance_hook <- Some f
+  | Some g ->
+      t.advance_hook <-
+        Some
+          (fun a b ->
+            f a b;
+            g a b)
+
+let set_prof t p = t.prof <- Some p
 let now t = t.clock
 
 let check_future t at =
@@ -38,7 +61,7 @@ let schedule_call t at f x =
 
 let schedule_call_now t f x = Heap.insert t.queue t.clock (Call (f, x))
 
-let run t =
+let run_plain t =
   while not (Heap.is_empty t.queue) do
     let at = Heap.min_priority_exn t.queue in
     let ev = Heap.pop_exn t.queue in
@@ -49,6 +72,32 @@ let run t =
     t.executed <- t.executed + 1;
     match ev with Fn f -> f () | Call (f, x) -> f x
   done
+
+(* Profiled twin of [run_plain]: same control flow plus one word store per
+   transition so the SIGPROF sampler can attribute its hits. Queue work
+   (pop, hook, clock) books to [Event_loop]; the event body itself books
+   to [Dispatch] until a deeper layer (network dispatch, protocol handler,
+   strategy callback) refines the attribution. Keeping the unprofiled
+   loop untouched means profiling costs nothing when off. *)
+let run_prof t p =
+  Prof.set_sub p Prof.Event_loop;
+  while not (Heap.is_empty t.queue) do
+    let at = Heap.min_priority_exn t.queue in
+    let ev = Heap.pop_exn t.queue in
+    (match t.advance_hook with
+    | Some h when at > t.clock -> h t.clock at
+    | _ -> ());
+    t.clock <- at;
+    t.executed <- t.executed + 1;
+    Prof.set_sub p Prof.Dispatch;
+    (match ev with Fn f -> f () | Call (f, x) -> f x);
+    (* Deeper layers may have refined the attribution; the loop-trailing
+       store doubles as the loop-top one for the next iteration. *)
+    Prof.set_sub p Prof.Event_loop
+  done;
+  Prof.set_sub p Prof.Host
+
+let run t = match t.prof with None -> run_plain t | Some p -> run_prof t p
 
 let events_executed t = t.executed
 let pending t = Heap.size t.queue

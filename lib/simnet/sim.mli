@@ -31,7 +31,20 @@ val set_advance_hook : t -> (float -> float -> unit) -> unit
     before the clock jumps forward (strictly), i.e. between the events of
     two distinct instants. The hook must only observe state — it must not
     schedule events or mutate the simulation — so that an instrumented run
-    is indistinguishable from a bare one. Used by the metrics sampler. *)
+    is indistinguishable from a bare one. Used by the metrics sampler.
+    Replaces any hooks already installed. *)
+
+val add_advance_hook : t -> (float -> float -> unit) -> unit
+(** Like {!set_advance_hook} but composes with hooks already installed
+    instead of replacing them. Since hooks only observe, their relative
+    order is unspecified. Lets the metrics sampler, the profiler's window
+    series and the flight recorder's health snapshots share the slot. *)
+
+val set_prof : t -> Diva_obs.Prof.t -> unit
+(** Route {!run} through its profiled twin: identical control flow plus
+    one subsystem-tag store per queue/dispatch transition, so the
+    statistical sampler can attribute CPU time. The unprofiled loop is a
+    separate function and pays nothing. *)
 
 val events_executed : t -> int
 

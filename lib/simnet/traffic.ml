@@ -139,8 +139,8 @@ let handler m ctx ev =
       end
       else hop m ctx ~node ~dst ~injected ~hops
 
-let run ?(domains = 1) ?(seed = 17) ?(size = 64) ?(machine = Machine.gcel)
-    ~rows ~cols ~rate ~horizon ~pattern () =
+let run ?(domains = 1) ?telemetry ?(seed = 17) ?(size = 64)
+    ?(machine = Machine.gcel) ~rows ~cols ~rate ~horizon ~pattern () =
   if rows < 1 || cols < 1 || rows * cols < 2 then
     invalid_arg "Traffic.run: need at least 2 nodes";
   if not (rate > 0.0 && horizon > 0.0) then
@@ -184,7 +184,7 @@ let run ?(domains = 1) ?(seed = 17) ?(size = 64) ?(machine = Machine.gcel)
     if at < horizon then
       Par_engine.schedule_init eng ~shard:(node / cols) ~at (Inject node)
   done;
-  Par_engine.run ~domains eng ~handler:(handler m);
+  Par_engine.run ~domains ?telemetry eng ~handler:(handler m);
   (* Merge per-shard stats in shard order: deterministic float sums. *)
   let injected = ref 0 and delivered = ref 0 and hops = ref 0 in
   let lat_sum = ref 0.0 and lat_max = ref 0.0 in

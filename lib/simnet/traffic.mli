@@ -32,6 +32,7 @@ type result = {
 
 val run :
   ?domains:int ->
+  ?telemetry:Par_engine.telemetry ->
   ?seed:int ->
   ?size:int ->
   ?machine:Machine.t ->
@@ -46,7 +47,8 @@ val run :
     [rate] packets/us per node until the simulated [horizon] (us), then
     drains in-flight packets. [size] is the packet payload in bytes
     (default 64); [domains] defaults to 1. The result is identical for
-    every [domains] value. *)
+    every [domains] value, with or without [telemetry] (see
+    {!Par_engine.run}). *)
 
 val render : result -> string
 (** One-line deterministic summary (no wall-clock), suitable for

@@ -5,6 +5,8 @@ module Dsm = Diva_core.Dsm
 module Runner = Diva_harness.Runner
 module Json = Diva_obs.Json
 module Mesh = Diva_mesh.Mesh
+module Flight = Diva_obs.Flight
+module Trace = Diva_obs.Trace
 
 type config = {
   dims : int array;
@@ -64,9 +66,23 @@ type run_stats = {
   rs_oracle : (unit, string) result;
 }
 
-let one_run cfg sched strategy =
+let one_run ?flight cfg sched strategy =
   let oracle = Oracle.create () in
-  let obs = { Runner.null_obs with Runner.obs_faults = sched } in
+  let obs =
+    match flight with
+    | None -> { Runner.null_obs with Runner.obs_faults = sched }
+    | Some fl ->
+        (* Ring-only sink: the recorder sees every event without anyone
+           buffering a full trace. Campaign recorders are created with
+           [~dump_on_watchdog:false] — watchdog trips are routine under
+           injected faults; the oracle is the failure signal here. *)
+        {
+          Runner.null_obs with
+          Runner.obs_faults = sched;
+          Runner.obs_trace = Flight.wrap fl Trace.null;
+          Runner.obs_flight = Some fl;
+        }
+  in
   let captured = ref None in
   let on_net net = captured := Network.faults net in
   let r =
@@ -83,7 +99,12 @@ let one_run cfg sched strategy =
     rs_retransmits = retransmits;
     rs_reissues = reissues;
     rs_ops = Oracle.ops oracle;
-    rs_oracle = Oracle.check oracle;
+    rs_oracle =
+      (let v = Oracle.check oracle in
+       (match flight with
+       | Some fl -> Flight.dump_on_error fl ~label:"chaos oracle violation" v
+       | None -> ());
+       v);
   }
 
 let same_run a b =
@@ -102,7 +123,7 @@ let progress_line o =
     | Some false -> ", NON-DETERMINISTIC"
     | None -> "")
 
-let run ?(progress = fun _ -> ()) ?(domains = 1) cfg =
+let run ?(progress = fun _ -> ()) ?(domains = 1) ?flight cfg =
   if cfg.schedules <= 0 then
     invalid_arg "Chaos.run: schedule count must be positive";
   if cfg.strategies = [] then
@@ -125,7 +146,7 @@ let run ?(progress = fun _ -> ()) ?(domains = 1) cfg =
       (List.init cfg.schedules Fun.id)
   in
   let eval (i, sched, sname, strategy) =
-    let s = one_run cfg sched strategy in
+    let s = one_run ?flight cfg sched strategy in
     let deterministic =
       if cfg.verify_determinism then
         Some (same_run s (one_run cfg sched strategy))
@@ -145,6 +166,8 @@ let run ?(progress = fun _ -> ()) ?(domains = 1) cfg =
       deterministic;
     }
   in
+  (* A shared flight recorder is not domain-safe; record serially. *)
+  let domains = if flight <> None then 1 else domains in
   if domains <= 1 then
     List.map
       (fun it ->

@@ -47,7 +47,12 @@ type outcome = {
   deterministic : bool option;  (** [None] when verification was off *)
 }
 
-val run : ?progress:(string -> unit) -> ?domains:int -> config -> outcome list
+val run :
+  ?progress:(string -> unit) ->
+  ?domains:int ->
+  ?flight:Diva_obs.Flight.t ->
+  config ->
+  outcome list
 (** Execute the campaign; [progress] receives one human-readable line per
     completed run. With [domains > 1] the independent (schedule x
     strategy) runs execute on that many OCaml domains; the outcome list
@@ -55,7 +60,14 @@ val run : ?progress:(string -> unit) -> ?domains:int -> config -> outcome list
     value — only wall-clock changes. Progress lines are then emitted after
     the campaign instead of live, so they never interleave. Raises
     [Invalid_argument] on a non-positive [schedules] count or an empty
-    strategy list. *)
+    strategy list.
+
+    With [flight], every run records into the given flight recorder
+    (ring-only — no full trace is buffered) and the first oracle
+    violation dumps it; create campaign recorders with
+    [~dump_on_watchdog:false], since watchdog trips are routine under
+    injected faults. A shared recorder is not domain-safe, so [flight]
+    forces serial evaluation regardless of [domains]. *)
 
 val passed : outcome list -> bool
 (** No oracle violation and no determinism failure in any run. *)

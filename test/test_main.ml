@@ -18,6 +18,7 @@ let () =
       ("edges", Test_edges.suite);
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);
+      ("prof", Test_prof.suite);
       ("analysis", Test_analysis.suite);
       ("streaming", Test_streaming.suite);
       ("workload", Test_workload.suite);

@@ -66,8 +66,10 @@ let test_zero_perturbation () =
   let metrics = Metrics.create () in
   let tr = Trace.create () in
   let obs =
-    { Runner.obs_trace = tr; obs_metrics = Some metrics;
-      obs_sample_interval = 100.0; obs_faults = Diva_faults.Schedule.empty }
+    { Runner.null_obs with
+      Runner.obs_trace = tr;
+      obs_metrics = Some metrics;
+      obs_sample_interval = 100.0 }
   in
   let instrumented = run_matmul ~obs () in
   Alcotest.(check (float 0.0)) "time" plain.Runner.time
